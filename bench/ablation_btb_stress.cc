@@ -1,0 +1,98 @@
+/**
+ * @file
+ * BTB stress ablation: enables the stub-farm workload component
+ * (dense jump-stub code that floods the BTB with an order of magnitude
+ * more taken sites than I-cache blocks) and compares the five policies
+ * on the BTB under that pressure. Stub farms are off in the default
+ * suite — they drown the I-cache's learnable reuse structure — so this
+ * binary exists to exercise the dead-entry BTB traffic regime the
+ * paper's server traces exhibit.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "stats/running_stats.hh"
+#include "stats/table.hh"
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ghrp;
+
+    core::CliOptions cli(argc, argv);
+    const auto num_traces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 4));
+    const std::uint64_t instructions =
+        cli.getUint("instructions", 12'000'000);
+    const std::uint64_t base_seed = cli.getUint("seed", 42);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    stats::RunningStats acc[5];
+    stats::RunningStats dead_evict_pct;
+
+    for (std::uint32_t t = 0; t < num_traces; ++t) {
+        workload::WorkloadParams params = workload::makeParams(
+            workload::Category::LongServer, base_seed + t);
+        // Enable the stub farms: ~1-2% of functions, 600-1500 jump
+        // stubs each, dispatched ~6% of the time.
+        params.stubFarmFraction = 0.012;
+        params.stubBlocksLo = 600;
+        params.stubBlocksHi = 1500;
+        params.stubCallProbability = 0.06;
+        params.targetInstructions = instructions;
+
+        const workload::Program program =
+            workload::generateProgram(params);
+        workload::ExecParams exec;
+        exec.seed = (base_seed + t) * 0x2545F4914F6CDD1Dull + 1;
+        exec.maxInstructions = params.targetInstructions;
+        exec.phaseLengthInstructions = params.phaseLengthInstructions;
+        exec.zipfSkew = params.zipfSkew;
+        exec.scanCallProbability = params.scanCallProbability;
+        exec.bigLoopCallProbability = params.bigLoopCallProbability;
+        exec.stubCallProbability = params.stubCallProbability;
+        const trace::Trace tr = workload::execute(
+            program, exec, "btb-stress", "LONG-SERVER");
+
+        for (std::size_t p = 0; p < std::size(frontend::paperPolicies);
+             ++p) {
+            frontend::FrontendConfig config;
+            config.policy = frontend::paperPolicies[p];
+            const frontend::FrontendResult r =
+                frontend::simulateTrace(config, tr);
+            acc[p].add(r.btbMpki);
+            if (config.policy == frontend::PolicyKind::Ghrp &&
+                r.btb.evictions) {
+                dead_evict_pct.add(
+                    100.0 * static_cast<double>(r.btb.deadEvictions) /
+                    static_cast<double>(r.btb.evictions));
+            }
+        }
+        if (logLevel() != LogLevel::Quiet)
+            std::fprintf(stderr, "\r[%u/%u traces]", t + 1, num_traces);
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
+    std::printf("=== BTB stress (stub farms enabled, %u traces) ===\n\n",
+                num_traces);
+    stats::TextTable table({"policy", "mean BTB MPKI", "vs LRU %"});
+    for (std::size_t p = 0; p < 5; ++p) {
+        const double lru = acc[0].mean();
+        table.addRow(
+            {frontend::policyName(frontend::paperPolicies[p]),
+             stats::TextTable::num(acc[p].mean()),
+             p == 0 ? "-"
+                    : stats::TextTable::num(
+                          lru > 0 ? (acc[p].mean() - lru) / lru * 100 : 0,
+                          1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("GHRP dead-entry evictions: %.1f%% of BTB evictions\n",
+                dead_evict_pct.mean());
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation study over GHRP's design choices (DESIGN.md Section 5):
+ * majority vote vs summation, dead/bypass thresholds, bypass on/off,
+ * path-history depth, and speculative-history recovery. Each variant
+ * reports mean I-cache and BTB MPKI against the LRU baseline over the
+ * same trace suite.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "bench_common.hh"
+#include "stats/running_stats.hh"
+#include "stats/table.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+struct Variant
+{
+    std::string name;
+    std::function<void(frontend::FrontendConfig &)> apply;
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    core::CliOptions cli(argc, argv);
+    const auto num_traces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 8));
+    const std::uint64_t instructions = cli.getUint("instructions", 0);
+    const std::uint64_t base_seed = cli.getUint("seed", 42);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    const std::vector<Variant> variants = {
+        {"GHRP (default)", [](frontend::FrontendConfig &) {}},
+        {"no bypass",
+         [](frontend::FrontendConfig &c) { c.ghrp.bypassEnabled = false; }},
+        {"summation (vs majority)",
+         [](frontend::FrontendConfig &c) { c.ghrp.majorityVote = false; }},
+        {"dead threshold 1",
+         [](frontend::FrontendConfig &c) { c.ghrp.deadThreshold = 1; }},
+        {"dead threshold 3",
+         [](frontend::FrontendConfig &c) { c.ghrp.deadThreshold = 3; }},
+        {"bypass threshold 2",
+         [](frontend::FrontendConfig &c) { c.ghrp.bypassThreshold = 2; }},
+        {"history 8 bits (2 accesses)",
+         [](frontend::FrontendConfig &c) { c.ghrp.historyBits = 8; }},
+        {"history 24 bits (6 accesses)",
+         [](frontend::FrontendConfig &c) { c.ghrp.historyBits = 24; }},
+        {"no history recovery",
+         [](frontend::FrontendConfig &c) {
+             c.recoverGhrpHistory = false;
+             c.wrongPathNoise = 8;
+         }},
+        {"btb dead threshold 2",
+         [](frontend::FrontendConfig &c) { c.ghrp.btbDeadThreshold = 2; }},
+        {"dedicated BTB predictor",
+         [](frontend::FrontendConfig &c) { c.ghrpDedicatedBtb = true; }},
+    };
+
+    // Generate traces once; run LRU plus every variant on each.
+    const std::vector<workload::TraceSpec> specs =
+        workload::makeSuite(num_traces, base_seed);
+
+    stats::RunningStats lru_icache, lru_btb;
+    std::vector<stats::RunningStats> var_icache(variants.size());
+    std::vector<stats::RunningStats> var_btb(variants.size());
+
+    std::size_t done = 0;
+    for (const workload::TraceSpec &spec : specs) {
+        const trace::Trace tr =
+            workload::buildTrace(spec, instructions);
+
+        frontend::FrontendConfig lru_config;
+        lru_config.policy = frontend::PolicyKind::Lru;
+        const frontend::FrontendResult lru =
+            frontend::simulateTrace(lru_config, tr);
+        lru_icache.add(lru.icacheMpki);
+        lru_btb.add(lru.btbMpki);
+
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            frontend::FrontendConfig config;
+            config.policy = frontend::PolicyKind::Ghrp;
+            variants[v].apply(config);
+            const frontend::FrontendResult r =
+                frontend::simulateTrace(config, tr);
+            var_icache[v].add(r.icacheMpki);
+            var_btb[v].add(r.btbMpki);
+        }
+        ++done;
+        if (logLevel() != LogLevel::Quiet)
+            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
+    std::printf("=== GHRP ablation study (%u traces) ===\n\n", num_traces);
+    stats::TextTable table({"variant", "icache-MPKI", "vs LRU %",
+                            "btb-MPKI", "vs LRU %"});
+    table.addRow({"LRU baseline", stats::TextTable::num(lru_icache.mean()),
+                  "-", stats::TextTable::num(lru_btb.mean()), "-"});
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const double ic = var_icache[v].mean();
+        const double bt = var_btb[v].mean();
+        const double ic_rel =
+            lru_icache.mean() > 0
+                ? (ic - lru_icache.mean()) / lru_icache.mean() * 100
+                : 0;
+        const double bt_rel =
+            lru_btb.mean() > 0
+                ? (bt - lru_btb.mean()) / lru_btb.mean() * 100
+                : 0;
+        table.addRow({variants[v].name, stats::TextTable::num(ic),
+                      stats::TextTable::num(ic_rel, 1),
+                      stats::TextTable::num(bt),
+                      stats::TextTable::num(bt_rel, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * OPT headroom ablation: for each trace, I-cache and BTB misses under
+ * LRU, GHRP and Belady's OPT (offline optimum with bypass). Reports
+ * how much of the LRU-to-OPT gap GHRP captures — the honest upper
+ * bound any online policy is fighting for (EXPERIMENTS.md fidelity
+ * analysis).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "core/opt.hh"
+#include "stats/table.hh"
+#include "workload/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ghrp;
+
+    core::CliOptions cli(argc, argv);
+    const auto num_traces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 6));
+    const std::uint64_t instructions =
+        cli.getUint("instructions", 4'000'000);
+    const std::uint64_t base_seed = cli.getUint("seed", 42);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    const std::vector<workload::TraceSpec> specs =
+        workload::makeSuite(num_traces, base_seed);
+
+    std::printf("=== OPT headroom (cold caches, %u traces) ===\n\n",
+                num_traces);
+    stats::TextTable table({"trace", "LRU MPKI", "GHRP MPKI", "OPT MPKI",
+                            "headroom %", "captured %"});
+
+    double sum_headroom = 0, sum_captured = 0;
+    std::size_t done = 0;
+    for (const workload::TraceSpec &spec : specs) {
+        const trace::Trace tr = workload::buildTrace(spec, instructions);
+
+        frontend::FrontendConfig cfg;
+        cfg.warmupFraction = 0.0;  // OPT replays the whole trace
+        cfg.policy = frontend::PolicyKind::Lru;
+        const double lru = frontend::simulateTrace(cfg, tr).icacheMpki;
+        cfg.policy = frontend::PolicyKind::Ghrp;
+        const double ghrp = frontend::simulateTrace(cfg, tr).icacheMpki;
+        const double opt =
+            core::simulateOptIcache(tr, cfg.icache).mpki();
+
+        const double headroom = lru > 0 ? (lru - opt) / lru * 100 : 0;
+        const double captured =
+            lru - opt > 1e-9 ? (lru - ghrp) / (lru - opt) * 100 : 0;
+        sum_headroom += headroom;
+        sum_captured += captured;
+
+        table.addRow({spec.name, stats::TextTable::num(lru),
+                      stats::TextTable::num(ghrp),
+                      stats::TextTable::num(opt),
+                      stats::TextTable::num(headroom, 1),
+                      stats::TextTable::num(captured, 1)});
+        ++done;
+        if (logLevel() != LogLevel::Quiet)
+            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
+    std::printf("%s\n", table.render().c_str());
+    std::printf("mean headroom %.1f%%; mean share captured by GHRP "
+                "%.1f%%\n",
+                sum_headroom / num_traces, sum_captured / num_traces);
+    return 0;
+}

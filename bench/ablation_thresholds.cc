@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Threshold sweep for the two predictive policies (DESIGN.md ablation
+ * index): GHRP counter width x dead/bypass thresholds, and SDBP
+ * dead/bypass sum thresholds. Reports mean I-cache MPKI split by
+ * mobile and server categories, against LRU.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "stats/running_stats.hh"
+#include "stats/table.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+bool
+isMobile(const workload::TraceSpec &spec)
+{
+    return spec.category == workload::Category::ShortMobile ||
+           spec.category == workload::Category::LongMobile;
+}
+
+struct Accumulator
+{
+    stats::RunningStats mobile;
+    stats::RunningStats server;
+    stats::RunningStats btb;
+
+    void
+    add(const workload::TraceSpec &spec,
+        const frontend::FrontendResult &r)
+    {
+        (isMobile(spec) ? mobile : server).add(r.icacheMpki);
+        btb.add(r.btbMpki);
+    }
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    core::CliOptions cli(argc, argv);
+    const auto num_traces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 8));
+    const std::uint64_t instructions = cli.getUint("instructions", 0);
+    const std::uint64_t base_seed = cli.getUint("seed", 42);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    struct GhrpVariant
+    {
+        unsigned counterBits;
+        std::uint32_t dead;
+        std::uint32_t bypass;
+        std::uint32_t btbDead;
+    };
+    const std::vector<GhrpVariant> ghrp_variants = {
+        {2, 2, 3, 2},  {2, 3, 3, 3},  {3, 3, 5, 3},  {3, 4, 6, 3},
+        {3, 4, 6, 4},  {3, 5, 7, 4},  {3, 5, 7, 5},  {3, 6, 7, 5},
+        {4, 8, 12, 6}, {4, 10, 14, 8},
+    };
+    struct SdbpVariant
+    {
+        std::uint32_t dead;
+        std::uint32_t bypass;
+    };
+    const std::vector<SdbpVariant> sdbp_variants = {
+        {16, 40}, {32, 80}, {64, 160}, {128, 300},
+    };
+
+    const std::vector<workload::TraceSpec> specs =
+        workload::makeSuite(num_traces, base_seed);
+
+    Accumulator lru;
+    std::vector<Accumulator> ghrp_acc(ghrp_variants.size());
+    std::vector<Accumulator> sdbp_acc(sdbp_variants.size());
+
+    std::size_t done = 0;
+    for (const workload::TraceSpec &spec : specs) {
+        const trace::Trace tr = workload::buildTrace(spec, instructions);
+
+        frontend::FrontendConfig config;
+        config.policy = frontend::PolicyKind::Lru;
+        lru.add(spec, frontend::simulateTrace(config, tr));
+
+        for (std::size_t v = 0; v < ghrp_variants.size(); ++v) {
+            config = frontend::FrontendConfig{};
+            config.policy = frontend::PolicyKind::Ghrp;
+            config.ghrp.counterBits = ghrp_variants[v].counterBits;
+            config.ghrp.deadThreshold = ghrp_variants[v].dead;
+            config.ghrp.bypassThreshold = ghrp_variants[v].bypass;
+            config.ghrp.btbDeadThreshold = ghrp_variants[v].btbDead;
+            ghrp_acc[v].add(spec, frontend::simulateTrace(config, tr));
+        }
+        for (std::size_t v = 0; v < sdbp_variants.size(); ++v) {
+            config = frontend::FrontendConfig{};
+            config.policy = frontend::PolicyKind::Sdbp;
+            config.sdbp.deadThreshold = sdbp_variants[v].dead;
+            config.sdbp.bypassThreshold = sdbp_variants[v].bypass;
+            sdbp_acc[v].add(spec, frontend::simulateTrace(config, tr));
+        }
+        ++done;
+        if (logLevel() != LogLevel::Quiet)
+            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
+    std::printf("=== Predictor threshold sweep (%u traces) ===\n\n",
+                num_traces);
+    stats::TextTable table({"variant", "mob icache", "srv icache",
+                            "mob %", "srv %", "btb MPKI", "btb %"});
+    auto rel = [](double v, double base) {
+        return base > 0 ? (v - base) / base * 100 : 0.0;
+    };
+    table.addRow({"LRU", stats::TextTable::num(lru.mobile.mean()),
+                  stats::TextTable::num(lru.server.mean()), "-", "-",
+                  stats::TextTable::num(lru.btb.mean()), "-"});
+    for (std::size_t v = 0; v < ghrp_variants.size(); ++v) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "GHRP c%u d%u b%u bd%u",
+                      ghrp_variants[v].counterBits, ghrp_variants[v].dead,
+                      ghrp_variants[v].bypass, ghrp_variants[v].btbDead);
+        table.addRow(
+            {name, stats::TextTable::num(ghrp_acc[v].mobile.mean()),
+             stats::TextTable::num(ghrp_acc[v].server.mean()),
+             stats::TextTable::num(
+                 rel(ghrp_acc[v].mobile.mean(), lru.mobile.mean()), 1),
+             stats::TextTable::num(
+                 rel(ghrp_acc[v].server.mean(), lru.server.mean()), 1),
+             stats::TextTable::num(ghrp_acc[v].btb.mean()),
+             stats::TextTable::num(
+                 rel(ghrp_acc[v].btb.mean(), lru.btb.mean()), 1)});
+    }
+    for (std::size_t v = 0; v < sdbp_variants.size(); ++v) {
+        char name[64];
+        std::snprintf(name, sizeof(name), "SDBP d%u b%u",
+                      sdbp_variants[v].dead, sdbp_variants[v].bypass);
+        table.addRow(
+            {name, stats::TextTable::num(sdbp_acc[v].mobile.mean()),
+             stats::TextTable::num(sdbp_acc[v].server.mean()),
+             stats::TextTable::num(
+                 rel(sdbp_acc[v].mobile.mean(), lru.mobile.mean()), 1),
+             stats::TextTable::num(
+                 rel(sdbp_acc[v].server.mean(), lru.server.mean()), 1),
+             stats::TextTable::num(sdbp_acc[v].btb.mean()),
+             stats::TextTable::num(
+                 rel(sdbp_acc[v].btb.mean(), lru.btb.mean()), 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Shared helpers for the figure/table regeneration binaries: suite
+ * options from the command line and progress reporting.
+ *
+ * Every bench binary accepts:
+ *   --traces N         suite size (default varies per figure)
+ *   --instructions M   per-trace dynamic length override
+ *   --seed S           suite base seed
+ *   --quiet            suppress progress
+ */
+
+#ifndef GHRP_BENCH_BENCH_COMMON_HH
+#define GHRP_BENCH_BENCH_COMMON_HH
+
+#include <cstdio>
+
+#include "core/cli.hh"
+#include "core/runner.hh"
+#include "util/logging.hh"
+
+namespace ghrp::bench
+{
+
+/** Build SuiteOptions from CLI flags with per-binary defaults. */
+inline core::SuiteOptions
+suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
+             std::uint64_t default_instructions)
+{
+    core::SuiteOptions options;
+    options.numTraces =
+        static_cast<std::uint32_t>(cli.getUint("traces", default_traces));
+    options.baseSeed = cli.getUint("seed", 42);
+    options.instructionOverride =
+        cli.getUint("instructions", default_instructions);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+    return options;
+}
+
+/** Progress meter printing to stderr (suppressed by --quiet). */
+inline core::ProgressFn
+progressMeter()
+{
+    return [](std::size_t done, std::size_t total,
+              const std::string &what) {
+        if (logLevel() == LogLevel::Quiet)
+            return;
+        std::fprintf(stderr, "\r[%3zu/%3zu] %-40s", done, total,
+                     what.c_str());
+        if (done == total)
+            std::fprintf(stderr, "\n");
+    };
+}
+
+} // namespace ghrp::bench
+
+#endif // GHRP_BENCH_BENCH_COMMON_HH

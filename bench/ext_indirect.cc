@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Future-work extension (paper Section VI): interaction with indirect
+ * branch prediction. Compares indirect-target misprediction rates with
+ * the BTB's last-seen target (the paper's baseline) against the
+ * path-history-indexed indirect target predictor, under GHRP
+ * replacement, and reports the effect on BTB MPKI.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "stats/running_stats.hh"
+#include "stats/table.hh"
+#include "workload/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ghrp;
+
+    core::CliOptions cli(argc, argv);
+    const auto num_traces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 8));
+    const std::uint64_t instructions = cli.getUint("instructions", 0);
+    const std::uint64_t base_seed = cli.getUint("seed", 42);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    const std::vector<workload::TraceSpec> specs =
+        workload::makeSuite(num_traces, base_seed);
+
+    stats::RunningStats base_rate, itp_rate, base_mpki, itp_mpki;
+    std::size_t done = 0;
+    for (const workload::TraceSpec &spec : specs) {
+        const trace::Trace tr = workload::buildTrace(spec, instructions);
+
+        frontend::FrontendConfig cfg;
+        cfg.policy = frontend::PolicyKind::Ghrp;
+        const frontend::FrontendResult base =
+            frontend::simulateTrace(cfg, tr);
+        cfg.useIndirectPredictor = true;
+        const frontend::FrontendResult itp =
+            frontend::simulateTrace(cfg, tr);
+
+        if (base.indirectBranches > 0) {
+            base_rate.add(100.0 *
+                          static_cast<double>(base.indirectMispredicts) /
+                          static_cast<double>(base.indirectBranches));
+            itp_rate.add(100.0 *
+                         static_cast<double>(itp.indirectMispredicts) /
+                         static_cast<double>(itp.indirectBranches));
+        }
+        base_mpki.add(base.indirectMpki());
+        itp_mpki.add(itp.indirectMpki());
+        ++done;
+        if (logLevel() != LogLevel::Quiet)
+            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
+    std::printf("=== Extension: indirect target prediction (GHRP "
+                "replacement, %u traces) ===\n\n",
+                num_traces);
+    stats::TextTable table({"scheme", "indirect mispredict %",
+                            "indirect MPKI"});
+    table.addRow({"BTB last-seen target",
+                  stats::TextTable::num(base_rate.mean(), 2),
+                  stats::TextTable::num(base_mpki.mean())});
+    table.addRow({"+ path-history target predictor",
+                  stats::TextTable::num(itp_rate.mean(), 2),
+                  stats::TextTable::num(itp_mpki.mean())});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("paper Section VI lists this interaction as future "
+                "work; the polymorphic,\npath-correlated indirect sites "
+                "(cyclic callee rotation in the workload)\nare exactly "
+                "what last-target prediction cannot capture.\n");
+    return 0;
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Extension: interaction of replacement policy and next-line
+ * instruction prefetching (the context of the paper's related work,
+ * Section II-E). Reports I-cache demand MPKI for LRU and GHRP with
+ * prefetch degrees 0, 1 and 2. Prefetching absorbs the sequential
+ * misses (scans, straight-line code); the replacement policy then
+ * fights over what pollution the prefetcher adds.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "stats/running_stats.hh"
+#include "stats/table.hh"
+#include "workload/suite.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace ghrp;
+
+    core::CliOptions cli(argc, argv);
+    const auto num_traces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 8));
+    const std::uint64_t instructions = cli.getUint("instructions", 0);
+    const std::uint64_t base_seed = cli.getUint("seed", 42);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    const std::vector<workload::TraceSpec> specs =
+        workload::makeSuite(num_traces, base_seed);
+
+    const std::uint32_t degrees[] = {0, 1, 2};
+    stats::RunningStats lru_acc[3], ghrp_acc[3];
+
+    std::size_t done = 0;
+    for (const workload::TraceSpec &spec : specs) {
+        const trace::Trace tr = workload::buildTrace(spec, instructions);
+        for (std::size_t d = 0; d < std::size(degrees); ++d) {
+            frontend::FrontendConfig cfg;
+            cfg.nextLinePrefetch = degrees[d];
+            cfg.policy = frontend::PolicyKind::Lru;
+            lru_acc[d].add(frontend::simulateTrace(cfg, tr).icacheMpki);
+            cfg.policy = frontend::PolicyKind::Ghrp;
+            ghrp_acc[d].add(frontend::simulateTrace(cfg, tr).icacheMpki);
+        }
+        ++done;
+        if (logLevel() != LogLevel::Quiet)
+            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
+    std::printf("=== Extension: next-line prefetch x replacement "
+                "(%u traces) ===\n\n",
+                num_traces);
+    stats::TextTable table({"prefetch degree", "LRU MPKI", "GHRP MPKI",
+                            "GHRP vs LRU %"});
+    for (std::size_t d = 0; d < std::size(degrees); ++d) {
+        const double rel =
+            lru_acc[d].mean() > 0
+                ? (ghrp_acc[d].mean() - lru_acc[d].mean()) /
+                      lru_acc[d].mean() * 100
+                : 0;
+        table.addRow({std::to_string(degrees[d]),
+                      stats::TextTable::num(lru_acc[d].mean()),
+                      stats::TextTable::num(ghrp_acc[d].mean()),
+                      stats::TextTable::num(rel, 1)});
+    }
+    std::printf("%s\n", table.render().c_str());
+    std::printf("Sequential prefetching absorbs the straight-line "
+                "misses; what remains is\nthe reuse-limit traffic that "
+                "replacement policy fights over.\n");
+    return 0;
+}

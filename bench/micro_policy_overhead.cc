@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Micro-benchmark (google-benchmark): per-access software cost of each
+ * replacement policy on the I-cache model, and of GHRP's prediction
+ * primitives. These measure simulator overhead, not hardware latency —
+ * the paper argues all GHRP operations are off the critical path.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/basic_policies.hh"
+#include "cache/cache.hh"
+#include "predictor/ghrp.hh"
+#include "predictor/sdbp.hh"
+#include "util/random.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+/** A pseudo-random but loop-heavy block-address stream. */
+std::vector<Addr>
+makeStream(std::size_t n)
+{
+    Rng rng(0xBEEF);
+    std::vector<Addr> stream;
+    stream.reserve(n);
+    Addr base = 0x400000;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.nextBool(0.7)) {
+            base += 64;  // sequential run
+        } else {
+            base = 0x400000 + rng.nextBounded(1u << 21);
+        }
+        stream.push_back(base & ~Addr{63});
+    }
+    return stream;
+}
+
+template <typename MakePolicy>
+void
+runCacheBench(benchmark::State &state, MakePolicy &&make_policy)
+{
+    const std::vector<Addr> stream = makeStream(1 << 16);
+    cache::CacheModel<> model(cache::CacheConfig::icache(64, 8),
+                              make_policy());
+    std::size_t i = 0;
+    for (auto _ : state) {
+        const Addr addr = stream[i];
+        benchmark::DoNotOptimize(model.access(addr, addr));
+        i = (i + 1) & (stream.size() - 1);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void
+BM_AccessLru(benchmark::State &state)
+{
+    runCacheBench(state,
+                  [] { return std::make_unique<cache::LruPolicy>(); });
+}
+BENCHMARK(BM_AccessLru);
+
+void
+BM_AccessRandom(benchmark::State &state)
+{
+    runCacheBench(state,
+                  [] { return std::make_unique<cache::RandomPolicy>(); });
+}
+BENCHMARK(BM_AccessRandom);
+
+void
+BM_AccessSrrip(benchmark::State &state)
+{
+    runCacheBench(state,
+                  [] { return std::make_unique<cache::SrripPolicy>(); });
+}
+BENCHMARK(BM_AccessSrrip);
+
+void
+BM_AccessSdbp(benchmark::State &state)
+{
+    runCacheBench(
+        state, [] { return std::make_unique<predictor::SdbpReplacement>(); });
+}
+BENCHMARK(BM_AccessSdbp);
+
+void
+BM_AccessGhrp(benchmark::State &state)
+{
+    // GHRP needs the shared predictor to outlive the policy.
+    static predictor::GhrpPredictor predictor;
+    runCacheBench(state, [] {
+        return std::make_unique<predictor::GhrpReplacement>(predictor);
+    });
+}
+BENCHMARK(BM_AccessGhrp);
+
+void
+BM_GhrpSignature(benchmark::State &state)
+{
+    predictor::GhrpPredictor predictor;
+    Addr pc = 0x400000;
+    for (auto _ : state) {
+        predictor.updateSpecHistory(pc);
+        benchmark::DoNotOptimize(predictor.signature(pc));
+        pc += 64;
+    }
+}
+BENCHMARK(BM_GhrpSignature);
+
+void
+BM_GhrpVoteAndTrain(benchmark::State &state)
+{
+    predictor::GhrpPredictor predictor;
+    std::uint16_t sig = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(predictor.predictDead(sig));
+        predictor.train(sig, (sig & 1) != 0);
+        ++sig;
+    }
+}
+BENCHMARK(BM_GhrpVoteAndTrain);
+
+} // anonymous namespace
+
+BENCHMARK_MAIN();

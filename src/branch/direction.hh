@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Conditional-branch direction predictors: the interface plus two
+ * simple baselines (bimodal and gshare). The paper's predictor — the
+ * hashed perceptron — lives in perceptron.hh.
+ */
+
+#ifndef GHRP_BRANCH_DIRECTION_HH
+#define GHRP_BRANCH_DIRECTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bit_ops.hh"
+#include "util/logging.hh"
+
+namespace ghrp::branch
+{
+
+/** Abstract conditional-branch direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /**
+     * Train with the resolved outcome. Must be called exactly once per
+     * predict(), in order.
+     *
+     * @param pc branch address.
+     * @param taken actual direction.
+     */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Display name. */
+    virtual std::string name() const = 0;
+};
+
+/** Classic bimodal predictor: one 2-bit counter per PC hash. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(std::uint32_t entries = 16384)
+        : table(entries, 2), indexMask(entries - 1)
+    {
+        GHRP_ASSERT(isPowerOf2(entries));
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        return table[index(pc)] >= 2;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        std::uint8_t &counter = table[index(pc)];
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+    }
+
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return static_cast<std::size_t>((pc >> 2) & indexMask);
+    }
+
+    std::vector<std::uint8_t> table;
+    std::uint64_t indexMask;
+};
+
+/** gshare [McFarling]: 2-bit counters indexed by PC xor history. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(std::uint32_t entries = 65536,
+                             unsigned history_bits = 16)
+        : table(entries, 2), indexMask(entries - 1),
+          historyMask(mask(history_bits))
+    {
+        GHRP_ASSERT(isPowerOf2(entries));
+    }
+
+    bool
+    predict(Addr pc) override
+    {
+        return table[index(pc)] >= 2;
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        std::uint8_t &counter = table[index(pc)];
+        if (taken) {
+            if (counter < 3)
+                ++counter;
+        } else {
+            if (counter > 0)
+                --counter;
+        }
+        history = ((history << 1) | (taken ? 1 : 0)) & historyMask;
+    }
+
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return static_cast<std::size_t>(((pc >> 2) ^ history) & indexMask);
+    }
+
+    std::vector<std::uint8_t> table;
+    std::uint64_t indexMask;
+    std::uint64_t historyMask;
+    std::uint64_t history = 0;
+};
+
+} // namespace ghrp::branch
+
+#endif // GHRP_BRANCH_DIRECTION_HH

@@ -1,0 +1,91 @@
+#include "branch/perceptron.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ghrp::branch
+{
+
+HashedPerceptron::HashedPerceptron(const PerceptronConfig &config)
+    : cfg(config)
+{
+    GHRP_ASSERT(isPowerOf2(cfg.tableEntries));
+    GHRP_ASSERT(!cfg.historyLengths.empty());
+    GHRP_ASSERT(cfg.weightBits >= 2 && cfg.weightBits <= 15);
+
+    weightMax = (1 << (cfg.weightBits - 1)) - 1;
+    weightMin = -(1 << (cfg.weightBits - 1));
+
+    if (cfg.theta != 0) {
+        trainTheta = cfg.theta;
+    } else {
+        // The classic perceptron threshold heuristic, theta = 1.93h +
+        // 14, using the mean history length across tables.
+        double total = 0;
+        for (unsigned len : cfg.historyLengths)
+            total += len;
+        const double mean = total / cfg.historyLengths.size();
+        trainTheta = static_cast<std::int32_t>(1.93 * mean + 14);
+    }
+
+    tables.assign(cfg.historyLengths.size(),
+                  std::vector<std::int16_t>(cfg.tableEntries, 0));
+    prevIndices.assign(cfg.historyLengths.size(), 0);
+}
+
+std::uint32_t
+HashedPerceptron::tableIndex(std::size_t table, Addr pc) const
+{
+    const unsigned idx_bits = floorLog2(cfg.tableEntries);
+    const unsigned len = cfg.historyLengths[table];
+    const std::uint64_t pc_hash = pc >> 2;
+
+    std::uint64_t h = pc_hash;
+    if (len > 0) {
+        const std::uint64_t outcome_seg = outcomeHistory & mask(len);
+        const std::uint64_t path_seg = pathHistory & mask(len);
+        // Merge gshare-style outcome history and path history; a
+        // per-table odd multiplier skews the tables against each other.
+        h ^= foldXor(outcome_seg, idx_bits + 3);
+        h ^= foldXor(path_seg * 0x9E3779B97F4A7C15ull, idx_bits + 3);
+    }
+    h *= 0x2545F4914F6CDD1Dull + 2 * table;
+    return static_cast<std::uint32_t>((h >> 13) & (cfg.tableEntries - 1));
+}
+
+bool
+HashedPerceptron::predict(Addr pc)
+{
+    std::int32_t sum = 0;
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+        prevIndices[t] = tableIndex(t, pc);
+        sum += tables[t][prevIndices[t]];
+    }
+    prevSum = sum;
+    prevPrediction = sum >= 0;
+    return prevPrediction;
+}
+
+void
+HashedPerceptron::update(Addr pc, bool taken)
+{
+    const bool mispredicted = prevPrediction != taken;
+    if (mispredicted || std::abs(prevSum) <= trainTheta) {
+        for (std::size_t t = 0; t < tables.size(); ++t) {
+            std::int16_t &weight = tables[t][prevIndices[t]];
+            if (taken) {
+                if (weight < weightMax)
+                    ++weight;
+            } else {
+                if (weight > weightMin)
+                    --weight;
+            }
+        }
+    }
+
+    outcomeHistory = (outcomeHistory << 1) | (taken ? 1 : 0);
+    pathHistory = (pathHistory << 3) ^ ((pc >> 2) & 0x3F);
+}
+
+} // namespace ghrp::branch

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Hashed perceptron direction predictor [Tarjan & Skadron, TACO 2005],
+ * the predictor the paper uses: it merges gshare, path-based and
+ * perceptron prediction by hashing segments of global outcome and path
+ * history to index several weight tables whose outputs are summed.
+ */
+
+#ifndef GHRP_BRANCH_PERCEPTRON_HH
+#define GHRP_BRANCH_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/direction.hh"
+#include "util/bit_ops.hh"
+
+namespace ghrp::branch
+{
+
+/** Configuration of the hashed perceptron. */
+struct PerceptronConfig
+{
+    std::uint32_t tableEntries = 4096; ///< per weight table
+    unsigned weightBits = 8;           ///< signed weight width
+    /** Global-history segment length per table; 0 = bias (PC only). */
+    std::vector<unsigned> historyLengths = {0, 3, 6, 12, 21, 34, 51, 64};
+    /** Extra training margin; trained when |sum| <= theta. */
+    std::int32_t theta = 0;  ///< 0 = derive from history lengths
+};
+
+/** Hashed perceptron predictor. */
+class HashedPerceptron : public DirectionPredictor
+{
+  public:
+    explicit HashedPerceptron(const PerceptronConfig &config =
+                                  PerceptronConfig{});
+
+    bool predict(Addr pc) override;
+    void update(Addr pc, bool taken) override;
+    std::string name() const override { return "hashed-perceptron"; }
+
+    /** Last prediction's weight sum (exposed for tests/telemetry). */
+    std::int32_t lastSum() const { return prevSum; }
+
+    std::int32_t theta() const { return trainTheta; }
+
+  private:
+    std::uint32_t tableIndex(std::size_t table, Addr pc) const;
+
+    PerceptronConfig cfg;
+    std::int32_t trainTheta;
+    std::int32_t weightMin;
+    std::int32_t weightMax;
+    std::vector<std::vector<std::int16_t>> tables;
+
+    std::uint64_t outcomeHistory = 0; ///< global direction history
+    std::uint64_t pathHistory = 0;    ///< folded path of branch PCs
+
+    // State carried from predict() to update().
+    std::vector<std::uint32_t> prevIndices;
+    std::int32_t prevSum = 0;
+    bool prevPrediction = false;
+};
+
+} // namespace ghrp::branch
+
+#endif // GHRP_BRANCH_PERCEPTRON_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Return address stack: predicts return targets so returns need not
+ * occupy BTB entries (configurable in the front-end).
+ */
+
+#ifndef GHRP_BRANCH_RAS_HH
+#define GHRP_BRANCH_RAS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_ops.hh"
+
+namespace ghrp::branch
+{
+
+/** Fixed-depth circular return address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(std::uint32_t depth = 32)
+        : entries(depth, 0)
+    {
+    }
+
+    /** Push a return address (on a call). */
+    void
+    push(Addr return_pc)
+    {
+        top = (top + 1) % entries.size();
+        entries[top] = return_pc;
+        if (occupancy < entries.size())
+            ++occupancy;
+    }
+
+    /**
+     * Pop the predicted return target. Returns 0 when empty (forces a
+     * misprediction, as real hardware would after overflow).
+     */
+    Addr
+    pop()
+    {
+        if (occupancy == 0)
+            return 0;
+        const Addr value = entries[top];
+        top = (top + entries.size() - 1) % entries.size();
+        --occupancy;
+        return value;
+    }
+
+    std::uint32_t depth() const
+    {
+        return static_cast<std::uint32_t>(entries.size());
+    }
+
+    std::uint32_t size() const { return occupancy; }
+    bool empty() const { return occupancy == 0; }
+
+  private:
+    std::vector<Addr> entries;
+    std::size_t top = 0;
+    std::uint32_t occupancy = 0;
+};
+
+} // namespace ghrp::branch
+
+#endif // GHRP_BRANCH_RAS_HH

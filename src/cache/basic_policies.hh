@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Baseline replacement policies: LRU, Random, FIFO, and the RRIP
+ * family (SRRIP from the paper, plus BRRIP/DRRIP as extensions).
+ */
+
+#ifndef GHRP_CACHE_BASIC_POLICIES_HH
+#define GHRP_CACHE_BASIC_POLICIES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lru_stack.hh"
+#include "cache/replacement.hh"
+#include "util/random.hh"
+
+namespace ghrp::cache
+{
+
+/** True least-recently-used replacement. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    std::uint32_t chooseVictim(const AccessInfo &info) override;
+    void onHit(const AccessInfo &info, std::uint32_t way) override;
+    void onFill(const AccessInfo &info, std::uint32_t way) override;
+    std::string name() const override { return "LRU"; }
+
+  private:
+    LruStack stack;
+};
+
+/** Uniform random victim selection. */
+class RandomPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RandomPolicy(std::uint64_t seed = 0xC0FFEE);
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    std::uint32_t chooseVictim(const AccessInfo &info) override;
+    void onHit(const AccessInfo &info, std::uint32_t way) override;
+    void onFill(const AccessInfo &info, std::uint32_t way) override;
+    std::string name() const override { return "Random"; }
+
+  private:
+    Rng rng;
+    std::uint32_t ways = 0;
+};
+
+/** First-in first-out: evicts the oldest fill regardless of hits. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    std::uint32_t chooseVictim(const AccessInfo &info) override;
+    void onHit(const AccessInfo &info, std::uint32_t way) override;
+    void onFill(const AccessInfo &info, std::uint32_t way) override;
+    std::string name() const override { return "FIFO"; }
+
+  private:
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<std::uint32_t> nextOut;  ///< per-set round-robin cursor
+};
+
+/**
+ * Static Re-reference Interval Prediction [Jaleel et al., ISCA 2010].
+ *
+ * Each block carries an M-bit re-reference prediction value (RRPV).
+ * Fills insert with RRPV = max-1 ("long"); hits promote to 0
+ * (hit-priority variant); the victim is a block with RRPV = max, aging
+ * all blocks until one exists.
+ */
+class SrripPolicy : public ReplacementPolicy
+{
+  public:
+    /** @param rrpv_bits width of the RRPV field (2 in the paper). */
+    explicit SrripPolicy(unsigned rrpv_bits = 2);
+
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    std::uint32_t chooseVictim(const AccessInfo &info) override;
+    void onHit(const AccessInfo &info, std::uint32_t way) override;
+    void onFill(const AccessInfo &info, std::uint32_t way) override;
+    std::string name() const override { return "SRRIP"; }
+
+  protected:
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    /** Insertion RRPV for a fill (overridden by BRRIP). */
+    virtual std::uint8_t insertionRrpv(const AccessInfo &info);
+
+    std::uint8_t rrpvMax;
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<std::uint8_t> rrpv;
+};
+
+/**
+ * Bimodal RRIP: inserts at max ("distant") most of the time and at
+ * max-1 with low probability, which resists thrashing.
+ */
+class BrripPolicy : public SrripPolicy
+{
+  public:
+    explicit BrripPolicy(unsigned rrpv_bits = 2, double long_prob = 1.0 / 32,
+                         std::uint64_t seed = 0xB12F00D);
+    std::string name() const override { return "BRRIP"; }
+
+  protected:
+    std::uint8_t insertionRrpv(const AccessInfo &info) override;
+
+  private:
+    double longProb;
+    Rng rng;
+};
+
+/**
+ * Dynamic RRIP: set-duels SRRIP against BRRIP with a PSEL counter and
+ * follows the winner in the follower sets.
+ */
+class DrripPolicy : public SrripPolicy
+{
+  public:
+    explicit DrripPolicy(unsigned rrpv_bits = 2,
+                         std::uint32_t duel_sets = 32,
+                         std::uint64_t seed = 0xD41113);
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    std::string name() const override { return "DRRIP"; }
+
+    /** The cache reports misses so the duel can be scored. */
+    bool shouldBypass(const AccessInfo &info) override;
+
+  protected:
+    std::uint8_t insertionRrpv(const AccessInfo &info) override;
+
+  private:
+    enum class SetRole : std::uint8_t { Follower, LeaderSrrip, LeaderBrrip };
+
+    std::uint32_t duelSets;
+    double longProb = 1.0 / 32;
+    Rng rng;
+    std::vector<SetRole> roles;
+    std::int32_t psel = 0;           ///< >0 favors SRRIP
+    std::int32_t pselMax = 1023;
+};
+
+} // namespace ghrp::cache
+
+#endif // GHRP_CACHE_BASIC_POLICIES_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Generic set-associative tag store with pluggable replacement and an
+ * optional payload per block. The I-cache instantiates it with no
+ * payload; the BTB instantiates it with a branch-target payload.
+ */
+
+#ifndef GHRP_CACHE_CACHE_HH
+#define GHRP_CACHE_CACHE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/replacement.hh"
+#include "stats/efficiency.hh"
+#include "stats/mpki.hh"
+#include "util/bit_ops.hh"
+#include "util/logging.hh"
+
+namespace ghrp::cache
+{
+
+/** Result of one cache access. */
+struct AccessOutcome
+{
+    bool hit = false;
+    bool bypassed = false;      ///< miss whose fill was vetoed
+    bool evicted = false;       ///< a valid block was displaced
+    bool victimWasDead = false; ///< victim chosen by dead prediction
+    Addr victimAddress = 0;
+    std::uint32_t set = 0;
+    std::uint32_t way = 0;      ///< hit way or fill way (if !bypassed)
+};
+
+/** Empty payload type for structures that only need tags (I-cache). */
+struct NoPayload
+{
+};
+
+/**
+ * Set-associative cache model.
+ *
+ * @tparam Payload per-block payload stored alongside the tag (e.g. the
+ *         branch target for a BTB).
+ */
+template <typename Payload = NoPayload>
+class CacheModel
+{
+  public:
+    /**
+     * @param config geometry.
+     * @param policy replacement policy instance (owned).
+     */
+    CacheModel(const CacheConfig &config,
+               std::unique_ptr<ReplacementPolicy> policy)
+        : cfg(config), repl(std::move(policy)), sets(cfg.numSets()),
+          ways(cfg.assoc), blockShift(floorLog2(cfg.blockBytes)),
+          lines(static_cast<std::size_t>(sets) * ways)
+    {
+        GHRP_ASSERT(repl != nullptr);
+        GHRP_ASSERT(isPowerOf2(sets));
+        GHRP_ASSERT(isPowerOf2(cfg.blockBytes));
+        repl->reset(sets, ways);
+    }
+
+    /** Block-granular address of @p addr. */
+    Addr blockAddress(Addr addr) const { return addr >> blockShift; }
+
+    /** Set index for @p addr (modulo indexing, as in the paper). */
+    std::uint32_t
+    setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(blockAddress(addr) & (sets - 1));
+    }
+
+    /**
+     * Perform one access.
+     *
+     * @param addr accessed address (any byte inside the block).
+     * @param pc accessing instruction address (policy context).
+     * @param payload payload to install on a fill / update on a hit.
+     */
+    AccessOutcome
+    access(Addr addr, Addr pc, const Payload &payload = Payload{})
+    {
+        const std::uint64_t tick = ++tickCount;
+        const Addr tag = blockAddress(addr);
+        AccessInfo info{addr, pc, setIndex(addr), tick};
+
+        AccessOutcome outcome;
+        outcome.set = info.set;
+
+        // --- lookup --------------------------------------------------
+        Line *line_set = &lines[static_cast<std::size_t>(info.set) * ways];
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (line_set[w].valid && line_set[w].tag == tag) {
+                outcome.hit = true;
+                outcome.way = w;
+                line_set[w].payload = payload;
+                stats.recordHit();
+                repl->onHit(info, w);
+                if (tracker)
+                    tracker->onHit(info.set, w, tick);
+                return outcome;
+            }
+        }
+
+        // --- miss ----------------------------------------------------
+        if (repl->shouldBypass(info)) {
+            outcome.bypassed = true;
+            stats.recordMiss(true);
+            return outcome;
+        }
+        stats.recordMiss(false);
+
+        // Prefer an invalid frame.
+        std::uint32_t victim = ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (!line_set[w].valid) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == ways) {
+            victim = repl->chooseVictim(info);
+            GHRP_ASSERT(victim < ways);
+            outcome.evicted = true;
+            outcome.victimWasDead = repl->lastVictimWasDead();
+            outcome.victimAddress = line_set[victim].tag << blockShift;
+            ++stats.evictions;
+            if (outcome.victimWasDead)
+                ++stats.deadEvictions;
+            repl->onEvict(info, victim, outcome.victimAddress);
+            if (tracker)
+                tracker->onEvict(info.set, victim, tick);
+        }
+
+        line_set[victim].valid = true;
+        line_set[victim].tag = tag;
+        line_set[victim].payload = payload;
+        outcome.way = victim;
+        repl->onFill(info, victim);
+        if (tracker)
+            tracker->onFill(info.set, victim, tick);
+        return outcome;
+    }
+
+    /**
+     * Prefetch @p addr: fill it if absent, without touching the demand
+     * hit/miss statistics (a separate prefetchFills counter is kept).
+     * The replacement policy sees a normal fill; predicted-dead
+     * prefetches are still subject to bypass. Prefetch hits do not
+     * update recency (the block was not demanded).
+     *
+     * @return true when a fill happened.
+     */
+    bool
+    prefetch(Addr addr, Addr pc)
+    {
+        if (probe(addr))
+            return false;
+        const std::uint64_t tick = ++tickCount;
+        const Addr tag = blockAddress(addr);
+        AccessInfo info{addr, pc, setIndex(addr), tick};
+        Line *line_set = &lines[static_cast<std::size_t>(info.set) * ways];
+
+        if (repl->shouldBypass(info))
+            return false;
+
+        std::uint32_t victim = ways;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (!line_set[w].valid) {
+                victim = w;
+                break;
+            }
+        }
+        if (victim == ways) {
+            victim = repl->chooseVictim(info);
+            GHRP_ASSERT(victim < ways);
+            ++stats.evictions;
+            if (repl->lastVictimWasDead())
+                ++stats.deadEvictions;
+            repl->onEvict(info, victim, line_set[victim].tag << blockShift);
+            if (tracker)
+                tracker->onEvict(info.set, victim, tick);
+        }
+        line_set[victim].valid = true;
+        line_set[victim].tag = tag;
+        line_set[victim].payload = Payload{};
+        repl->onFill(info, victim);
+        if (tracker)
+            tracker->onFill(info.set, victim, tick);
+        ++prefetchFillCount;
+        return true;
+    }
+
+    /** Number of fills issued by prefetch(). */
+    std::uint64_t prefetchFills() const { return prefetchFillCount; }
+
+    /**
+     * Probe without modifying any state (no recency update, no fill).
+     * @return the way holding @p addr, if present.
+     */
+    std::optional<std::uint32_t>
+    probe(Addr addr) const
+    {
+        const Addr tag = blockAddress(addr);
+        const std::uint32_t set = setIndex(addr);
+        const Line *line_set = &lines[static_cast<std::size_t>(set) * ways];
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (line_set[w].valid && line_set[w].tag == tag)
+                return w;
+        return std::nullopt;
+    }
+
+    /** Payload of the block holding @p addr (must be present). */
+    const Payload &
+    payloadAt(Addr addr, std::uint32_t way) const
+    {
+        const std::uint32_t set = setIndex(addr);
+        const Line &line = lines[static_cast<std::size_t>(set) * ways + way];
+        GHRP_ASSERT(line.valid);
+        return line.payload;
+    }
+
+    /** Invalidate everything (keeps policy metadata sizing). */
+    void
+    invalidateAll()
+    {
+        for (Line &line : lines)
+            line.valid = false;
+    }
+
+    /** Attach an efficiency tracker (not owned); nullptr detaches. */
+    void attachTracker(stats::EfficiencyTracker *t) { tracker = t; }
+
+    /** Reset hit/miss statistics (e.g. after warm-up). */
+    void resetStats() { stats = stats::AccessStats{}; }
+
+    const stats::AccessStats &accessStats() const { return stats; }
+    const CacheConfig &config() const { return cfg; }
+    ReplacementPolicy &policy() { return *repl; }
+    const ReplacementPolicy &policy() const { return *repl; }
+    std::uint32_t numSets() const { return sets; }
+    std::uint32_t numWays() const { return ways; }
+    std::uint64_t ticks() const { return tickCount; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        Addr tag = 0;
+        Payload payload{};
+    };
+
+    CacheConfig cfg;
+    std::unique_ptr<ReplacementPolicy> repl;
+    std::uint32_t sets;
+    std::uint32_t ways;
+    unsigned blockShift;
+    std::vector<Line> lines;
+    stats::AccessStats stats;
+    stats::EfficiencyTracker *tracker = nullptr;
+    std::uint64_t tickCount = 0;
+    std::uint64_t prefetchFillCount = 0;
+};
+
+} // namespace ghrp::cache
+
+#endif // GHRP_CACHE_CACHE_HH

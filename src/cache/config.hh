@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Geometry configuration for set-associative cache-like structures
+ * (I-cache and BTB).
+ */
+
+#ifndef GHRP_CACHE_CONFIG_HH
+#define GHRP_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "util/bit_ops.hh"
+#include "util/logging.hh"
+
+namespace ghrp::cache
+{
+
+/** Geometry of a set-associative structure. */
+struct CacheConfig
+{
+    std::uint32_t sizeBytes = 64 * 1024; ///< total capacity
+    std::uint32_t blockBytes = 64;       ///< line size (1 for BTB-like)
+    std::uint32_t assoc = 8;             ///< ways per set
+
+    /** Number of sets implied by the geometry. */
+    std::uint32_t
+    numSets() const
+    {
+        GHRP_ASSERT(blockBytes > 0 && assoc > 0);
+        GHRP_ASSERT(sizeBytes % (blockBytes * assoc) == 0);
+        return sizeBytes / (blockBytes * assoc);
+    }
+
+    /** Total number of block frames. */
+    std::uint32_t numBlocks() const { return numSets() * assoc; }
+
+    /** Construct an I-cache geometry of @p kb kilobytes. */
+    static CacheConfig
+    icache(std::uint32_t kb, std::uint32_t assoc, std::uint32_t block = 64)
+    {
+        CacheConfig c;
+        c.sizeBytes = kb * 1024;
+        c.blockBytes = block;
+        c.assoc = assoc;
+        return c;
+    }
+
+    /**
+     * Construct a BTB geometry of @p entries total entries. One entry
+     * covers one 4-byte instruction slot, so 4-byte-aligned branch PCs
+     * spread over all sets (modulo indexing by pc >> 2).
+     */
+    static CacheConfig
+    btb(std::uint32_t entries, std::uint32_t assoc)
+    {
+        CacheConfig c;
+        c.sizeBytes = entries * 4;
+        c.blockBytes = 4;
+        c.assoc = assoc;
+        return c;
+    }
+
+    /** Total entries for entry-grained structures (BTB). */
+    std::uint32_t numEntries() const { return sizeBytes / blockBytes; }
+
+    /** Human-readable description like "64KB 8-way 64B". */
+    std::string
+    describe() const
+    {
+        char buf[64];
+        if (blockBytes <= 4) {
+            std::snprintf(buf, sizeof(buf), "%u-entry %u-way",
+                          numEntries(), assoc);
+        } else {
+            std::snprintf(buf, sizeof(buf), "%uKB %u-way %uB",
+                          sizeBytes / 1024, assoc, blockBytes);
+        }
+        return buf;
+    }
+};
+
+} // namespace ghrp::cache
+
+#endif // GHRP_CACHE_CONFIG_HH

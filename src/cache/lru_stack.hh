@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Reusable true-LRU recency bookkeeping for sets x ways frames. Used
+ * by the LRU policy itself and as the fallback ordering inside the
+ * predictive policies (GHRP and SDBP keep "3 bits of LRU stack
+ * position" per block in the paper's metadata budget).
+ */
+
+#ifndef GHRP_CACHE_LRU_STACK_HH
+#define GHRP_CACHE_LRU_STACK_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ghrp::cache
+{
+
+/**
+ * Stack-position LRU: position 0 is MRU, position ways-1 is LRU.
+ * touch() moves a way to MRU and ages the ways in front of it.
+ */
+class LruStack
+{
+  public:
+    LruStack() = default;
+
+    /** Size for @p num_sets x @p num_ways; initial order is way order. */
+    void
+    reset(std::uint32_t num_sets, std::uint32_t num_ways)
+    {
+        GHRP_ASSERT(num_ways >= 1);
+        sets = num_sets;
+        ways = num_ways;
+        position.assign(static_cast<std::size_t>(sets) * ways, 0);
+        for (std::uint32_t s = 0; s < sets; ++s)
+            for (std::uint32_t w = 0; w < ways; ++w)
+                position[index(s, w)] = static_cast<std::uint8_t>(w);
+    }
+
+    /** Promote (set, way) to MRU. */
+    void
+    touch(std::uint32_t set, std::uint32_t way)
+    {
+        const std::uint8_t old_pos = position[index(set, way)];
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            std::uint8_t &pos = position[index(set, w)];
+            if (pos < old_pos)
+                ++pos;
+        }
+        position[index(set, way)] = 0;
+    }
+
+    /** Way currently at the LRU position of @p set. */
+    std::uint32_t
+    lruWay(std::uint32_t set) const
+    {
+        for (std::uint32_t w = 0; w < ways; ++w)
+            if (position[index(set, w)] == ways - 1)
+                return w;
+        panic("corrupt LRU stack in set %u", set);
+    }
+
+    /** Stack position of (set, way); 0 = MRU. */
+    std::uint8_t
+    positionOf(std::uint32_t set, std::uint32_t way) const
+    {
+        return position[index(set, way)];
+    }
+
+    std::uint32_t numWays() const { return ways; }
+
+  private:
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        GHRP_ASSERT(set < sets && way < ways);
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<std::uint8_t> position;
+};
+
+} // namespace ghrp::cache
+
+#endif // GHRP_CACHE_LRU_STACK_HH

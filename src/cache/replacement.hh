@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Replacement-policy interface shared by the I-cache and the BTB.
+ *
+ * The cache model owns tags and validity; a policy owns whatever
+ * replacement metadata it needs (LRU stacks, RRPVs, signatures,
+ * prediction bits). The cache drives the policy through the hooks
+ * below. Bypass-capable policies additionally veto fills.
+ */
+
+#ifndef GHRP_CACHE_REPLACEMENT_HH
+#define GHRP_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "util/bit_ops.hh"
+
+namespace ghrp::cache
+{
+
+/** Context for one access, passed to every policy hook. */
+struct AccessInfo
+{
+    Addr address = 0;   ///< tag-granularity address (block addr / branch PC)
+    Addr pc = 0;        ///< address of the accessing instruction stream
+    std::uint32_t set = 0;
+    std::uint64_t tick = 0; ///< global access counter
+};
+
+/**
+ * Abstract replacement policy. One instance manages one structure;
+ * reset() is called by the owning cache with the final geometry before
+ * any other hook.
+ */
+class ReplacementPolicy
+{
+  public:
+    virtual ~ReplacementPolicy() = default;
+
+    /** Size internal metadata for @p num_sets x @p num_ways frames. */
+    virtual void reset(std::uint32_t num_sets, std::uint32_t num_ways) = 0;
+
+    /**
+     * Decide whether a missing block should bypass the cache entirely
+     * (no fill, no victim). Called on misses before victim selection.
+     */
+    virtual bool
+    shouldBypass(const AccessInfo &info)
+    {
+        (void)info;
+        return false;
+    }
+
+    /**
+     * Choose a victim way in info.set. All ways are valid (the cache
+     * fills invalid ways itself).
+     */
+    virtual std::uint32_t chooseVictim(const AccessInfo &info) = 0;
+
+    /** Block in (info.set, way) was hit. */
+    virtual void onHit(const AccessInfo &info, std::uint32_t way) = 0;
+
+    /** Block in (info.set, way) is being filled with info.address. */
+    virtual void onFill(const AccessInfo &info, std::uint32_t way) = 0;
+
+    /**
+     * Valid block in (info.set, way) is being evicted (before the
+     * corresponding onFill). @p victim_addr is the evicted tag address.
+     */
+    virtual void
+    onEvict(const AccessInfo &info, std::uint32_t way, Addr victim_addr)
+    {
+        (void)info;
+        (void)way;
+        (void)victim_addr;
+    }
+
+    /** Policy display name ("LRU", "GHRP", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * True when the last chooseVictim() picked a predicted-dead block
+     * (rather than falling back to recency order). Used for the
+     * dead-eviction statistics; base policies return false.
+     */
+    virtual bool lastVictimWasDead() const { return false; }
+};
+
+} // namespace ghrp::cache
+
+#endif // GHRP_CACHE_REPLACEMENT_HH

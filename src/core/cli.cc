@@ -1,0 +1,70 @@
+#include "core/cli.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace ghrp::core
+{
+
+CliOptions::CliOptions(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg(argv[i]);
+        if (arg.rfind("--", 0) != 0)
+            fatal("unexpected argument '%s' (flags start with --)",
+                  arg.c_str());
+        arg = arg.substr(2);
+
+        const std::size_t eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values[arg.substr(0, eq)] = arg.substr(eq + 1);
+            continue;
+        }
+        if (i + 1 < argc && argv[i + 1][0] != '-') {
+            values[arg] = argv[i + 1];
+            ++i;
+        } else {
+            values[arg] = "";  // bare boolean flag
+        }
+    }
+}
+
+std::uint64_t
+CliOptions::getUint(const std::string &name,
+                    std::uint64_t default_value) const
+{
+    const auto it = values.find(name);
+    if (it == values.end())
+        return default_value;
+    if (it->second.empty())
+        fatal("flag --%s requires a value", name.c_str());
+    return std::strtoull(it->second.c_str(), nullptr, 10);
+}
+
+double
+CliOptions::getDouble(const std::string &name, double default_value) const
+{
+    const auto it = values.find(name);
+    if (it == values.end())
+        return default_value;
+    if (it->second.empty())
+        fatal("flag --%s requires a value", name.c_str());
+    return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string
+CliOptions::getString(const std::string &name,
+                      const std::string &default_value) const
+{
+    const auto it = values.find(name);
+    return it == values.end() ? default_value : it->second;
+}
+
+bool
+CliOptions::has(const std::string &name) const
+{
+    return values.count(name) != 0;
+}
+
+} // namespace ghrp::core

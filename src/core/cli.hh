@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Minimal command-line parsing shared by the bench binaries and
+ * examples: --traces N, --instructions M, --seed S, --quiet, plus
+ * binary-specific extras registered by name.
+ */
+
+#ifndef GHRP_CORE_CLI_HH
+#define GHRP_CORE_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ghrp::core
+{
+
+/** Parsed command-line options. */
+class CliOptions
+{
+  public:
+    /**
+     * Parse argv. Recognized flags: "--name value" and "--flag" (bare
+     * booleans). Unknown flags are fatal() so typos do not silently
+     * run the default experiment.
+     */
+    CliOptions(int argc, char **argv);
+
+    /** Integer option with default. */
+    std::uint64_t getUint(const std::string &name,
+                          std::uint64_t default_value) const;
+
+    /** Floating-point option with default. */
+    double getDouble(const std::string &name, double default_value) const;
+
+    /** String option with default. */
+    std::string getString(const std::string &name,
+                          const std::string &default_value) const;
+
+    /** True when a bare boolean flag was given. */
+    bool has(const std::string &name) const;
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+} // namespace ghrp::core
+
+#endif // GHRP_CORE_CLI_HH

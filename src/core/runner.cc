@@ -1,0 +1,134 @@
+#include "core/runner.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace ghrp::core
+{
+
+std::vector<double>
+SuiteResults::icacheMpki(frontend::PolicyKind policy) const
+{
+    const auto it = results.find(policy);
+    GHRP_ASSERT(it != results.end());
+    std::vector<double> series;
+    series.reserve(it->second.size());
+    for (const frontend::FrontendResult &r : it->second)
+        series.push_back(r.icacheMpki);
+    return series;
+}
+
+std::vector<double>
+SuiteResults::btbMpki(frontend::PolicyKind policy) const
+{
+    const auto it = results.find(policy);
+    GHRP_ASSERT(it != results.end());
+    std::vector<double> series;
+    series.reserve(it->second.size());
+    for (const frontend::FrontendResult &r : it->second)
+        series.push_back(r.btbMpki);
+    return series;
+}
+
+double
+SuiteResults::mean(const std::vector<double> &series)
+{
+    if (series.empty())
+        return 0.0;
+    double total = 0.0;
+    for (double v : series)
+        total += v;
+    return total / static_cast<double>(series.size());
+}
+
+std::pair<double, std::size_t>
+SuiteResults::subsetMean(const std::vector<double> &series,
+                         const std::vector<double> &baseline, double floor)
+{
+    GHRP_ASSERT(series.size() == baseline.size());
+    double total = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (baseline[i] >= floor) {
+            total += series[i];
+            ++count;
+        }
+    }
+    return {count ? total / static_cast<double>(count) : 0.0, count};
+}
+
+std::vector<double>
+SuiteResults::relativeDifference(const std::vector<double> &series,
+                                 const std::vector<double> &base,
+                                 double min_base)
+{
+    GHRP_ASSERT(series.size() == base.size());
+    std::vector<double> out;
+    out.reserve(series.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        if (base[i] >= min_base)
+            out.push_back((series[i] - base[i]) / base[i]);
+    }
+    return out;
+}
+
+SuiteResults::WinLoss
+SuiteResults::winLoss(const std::vector<double> &series,
+                      const std::vector<double> &base, double tolerance,
+                      double epsilon)
+{
+    GHRP_ASSERT(series.size() == base.size());
+    WinLoss wl;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const double margin = std::max(base[i] * tolerance, epsilon);
+        if (series[i] < base[i] - margin)
+            ++wl.better;
+        else if (series[i] > base[i] + margin)
+            ++wl.worse;
+        else
+            ++wl.similar;
+    }
+    return wl;
+}
+
+SuiteResults
+runSuite(const SuiteOptions &options, const ProgressFn &progress)
+{
+    SuiteResults out;
+    out.specs = workload::makeSuite(options.numTraces, options.baseSeed);
+    for (frontend::PolicyKind policy : options.policies)
+        out.results[policy] = {};
+
+    const std::size_t total_units =
+        out.specs.size() * options.policies.size();
+    std::size_t done = 0;
+
+    for (const workload::TraceSpec &spec : out.specs) {
+        // Generate the trace once and reuse it for every policy so the
+        // comparison is paired (identical access streams).
+        const trace::Trace tr =
+            workload::buildTrace(spec, options.instructionOverride);
+
+        for (frontend::PolicyKind policy : options.policies) {
+            frontend::FrontendConfig config = options.base;
+            config.policy = policy;
+
+            frontend::FrontendResult result =
+                frontend::simulateTrace(config, tr);
+            result.traceName = spec.name;
+            out.results[policy].push_back(std::move(result));
+
+            ++done;
+            if (progress)
+                progress(done, total_units,
+                         spec.name + " / " + frontend::policyName(policy));
+            else if (options.verbose)
+                inform("[%zu/%zu] %s %s", done, total_units,
+                       spec.name.c_str(), frontend::policyName(policy));
+        }
+    }
+    return out;
+}
+
+} // namespace ghrp::core

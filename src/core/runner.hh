@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Experiment runner: generates the synthetic workload suite and
+ * simulates every (trace, policy) combination, collecting per-trace
+ * MPKI for the I-cache and BTB plus the aggregate views the paper's
+ * figures report (means, relative differences, confidence intervals,
+ * win/tie/loss counts, S-curves).
+ */
+
+#ifndef GHRP_CORE_RUNNER_HH
+#define GHRP_CORE_RUNNER_HH
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "frontend/frontend.hh"
+#include "stats/confidence.hh"
+#include "workload/suite.hh"
+
+namespace ghrp::core
+{
+
+/** Options for a suite run. */
+struct SuiteOptions
+{
+    std::uint32_t numTraces = 20;
+    std::uint64_t baseSeed = 42;
+    /** Override per-trace dynamic instruction counts (0 = category
+     *  default). */
+    std::uint64_t instructionOverride = 0;
+    std::vector<frontend::PolicyKind> policies{
+        frontend::paperPolicies,
+        frontend::paperPolicies + std::size(frontend::paperPolicies)};
+    frontend::FrontendConfig base;  ///< policy field is overridden
+    bool verbose = false;           ///< progress to stderr
+};
+
+/** All results of a suite run. */
+struct SuiteResults
+{
+    std::vector<workload::TraceSpec> specs;
+    /** results[policy][trace index] */
+    std::map<frontend::PolicyKind, std::vector<frontend::FrontendResult>>
+        results;
+
+    /** Per-trace I-cache MPKI series for @p policy. */
+    std::vector<double> icacheMpki(frontend::PolicyKind policy) const;
+
+    /** Per-trace BTB MPKI series for @p policy. */
+    std::vector<double> btbMpki(frontend::PolicyKind policy) const;
+
+    /** Arithmetic mean over traces of a per-trace series. */
+    static double mean(const std::vector<double> &series);
+
+    /**
+     * Mean over the subset of traces where @p baseline's series is at
+     * least @p floor (the paper's ">= 1 MPKI under LRU" subset).
+     * @return pair (subset mean of series, subset size).
+     */
+    static std::pair<double, std::size_t>
+    subsetMean(const std::vector<double> &series,
+               const std::vector<double> &baseline, double floor);
+
+    /**
+     * Per-trace relative difference (series - base) / base, skipping
+     * traces where base < @p min_base (avoids exploding ratios on
+     * near-zero MPKI).
+     */
+    static std::vector<double>
+    relativeDifference(const std::vector<double> &series,
+                       const std::vector<double> &base,
+                       double min_base = 0.01);
+
+    /** Win/tie/loss of @p series against @p base: better when lower by
+     *  more than @p tolerance (relative), worse when higher by more. */
+    struct WinLoss
+    {
+        std::size_t better = 0;
+        std::size_t similar = 0;
+        std::size_t worse = 0;
+    };
+    static WinLoss winLoss(const std::vector<double> &series,
+                           const std::vector<double> &base,
+                           double tolerance = 0.02,
+                           double epsilon = 0.005);
+};
+
+/** Progress callback: (completed units, total units, description). */
+using ProgressFn =
+    std::function<void(std::size_t, std::size_t, const std::string &)>;
+
+/**
+ * Run the full suite: for each trace spec, generate the trace once and
+ * simulate it under every requested policy.
+ */
+SuiteResults runSuite(const SuiteOptions &options,
+                      const ProgressFn &progress = nullptr);
+
+} // namespace ghrp::core
+
+#endif // GHRP_CORE_RUNNER_HH

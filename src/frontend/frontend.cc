@@ -1,0 +1,315 @@
+#include "frontend/frontend.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "branch/perceptron.hh"
+#include "cache/basic_policies.hh"
+#include "trace/fetch_stream.hh"
+#include "util/logging.hh"
+
+namespace ghrp::frontend
+{
+
+const char *
+policyName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return "LRU";
+      case PolicyKind::Random:
+        return "Random";
+      case PolicyKind::Fifo:
+        return "FIFO";
+      case PolicyKind::Srrip:
+        return "SRRIP";
+      case PolicyKind::Brrip:
+        return "BRRIP";
+      case PolicyKind::Drrip:
+        return "DRRIP";
+      case PolicyKind::Sdbp:
+        return "SDBP";
+      case PolicyKind::Ship:
+        return "SHiP";
+      case PolicyKind::Ghrp:
+        return "GHRP";
+    }
+    return "unknown";
+}
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    std::string upper(name);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (upper == "LRU")
+        return PolicyKind::Lru;
+    if (upper == "RANDOM")
+        return PolicyKind::Random;
+    if (upper == "FIFO")
+        return PolicyKind::Fifo;
+    if (upper == "SRRIP")
+        return PolicyKind::Srrip;
+    if (upper == "BRRIP")
+        return PolicyKind::Brrip;
+    if (upper == "DRRIP")
+        return PolicyKind::Drrip;
+    if (upper == "SDBP")
+        return PolicyKind::Sdbp;
+    if (upper == "SHIP")
+        return PolicyKind::Ship;
+    if (upper == "GHRP")
+        return PolicyKind::Ghrp;
+    fatal("unknown replacement policy '%s'", name.c_str());
+}
+
+namespace
+{
+
+/** Fast instruction count of a trace (no per-block visits). */
+std::uint64_t
+countInstructions(const trace::Trace &tr, std::uint32_t inst_bytes)
+{
+    Addr fetch_pc = tr.entryPc;
+    std::uint64_t instructions = 0;
+    for (const trace::BranchRecord &rec : tr.records) {
+        const Addr pc = rec.pc < fetch_pc ? fetch_pc : rec.pc;
+        instructions += (pc - fetch_pc) / inst_bytes + 1;
+        fetch_pc = rec.taken ? rec.target : pc + inst_bytes;
+    }
+    return instructions;
+}
+
+std::unique_ptr<branch::DirectionPredictor>
+makeDirection(DirectionKind kind)
+{
+    switch (kind) {
+      case DirectionKind::HashedPerceptron:
+        return std::make_unique<branch::HashedPerceptron>();
+      case DirectionKind::Gshare:
+        return std::make_unique<branch::GsharePredictor>();
+      case DirectionKind::Bimodal:
+        return std::make_unique<branch::BimodalPredictor>();
+    }
+    panic("unknown direction predictor kind");
+}
+
+/** Construct a self-contained (non-GHRP) policy instance. */
+std::unique_ptr<cache::ReplacementPolicy>
+makeBasicPolicy(PolicyKind kind, const predictor::SdbpConfig &sdbp,
+                const predictor::ShipConfig &ship, std::uint64_t seed)
+{
+    switch (kind) {
+      case PolicyKind::Lru:
+        return std::make_unique<cache::LruPolicy>();
+      case PolicyKind::Random:
+        return std::make_unique<cache::RandomPolicy>(seed);
+      case PolicyKind::Fifo:
+        return std::make_unique<cache::FifoPolicy>();
+      case PolicyKind::Srrip:
+        return std::make_unique<cache::SrripPolicy>();
+      case PolicyKind::Brrip:
+        return std::make_unique<cache::BrripPolicy>();
+      case PolicyKind::Drrip:
+        return std::make_unique<cache::DrripPolicy>();
+      case PolicyKind::Sdbp:
+        return std::make_unique<predictor::SdbpReplacement>(sdbp);
+      case PolicyKind::Ship:
+        return std::make_unique<predictor::ShipReplacement>(ship);
+      case PolicyKind::Ghrp:
+        panic("GHRP is constructed by the front-end, not the factory");
+    }
+    panic("unknown policy kind");
+}
+
+} // anonymous namespace
+
+FrontendSim::FrontendSim(const FrontendConfig &config) : cfg(config)
+{
+    if (cfg.policy == PolicyKind::Ghrp) {
+        ghrpPredictor =
+            std::make_unique<predictor::GhrpPredictor>(cfg.ghrp);
+        auto icache_policy =
+            std::make_unique<predictor::GhrpReplacement>(*ghrpPredictor);
+        icacheGhrp = icache_policy.get();
+        icache = std::make_unique<cache::CacheModel<cache::NoPayload>>(
+            cfg.icache, std::move(icache_policy));
+        if (cfg.ghrpDedicatedBtb) {
+            btb = std::make_unique<branch::Btb>(
+                cfg.btb,
+                std::make_unique<predictor::GhrpBtbDedicated>(cfg.ghrp));
+        } else {
+            btb = std::make_unique<branch::Btb>(
+                cfg.btb,
+                std::make_unique<predictor::GhrpBtbReplacement>(
+                    *ghrpPredictor, *icacheGhrp, *icache));
+        }
+    } else {
+        icache = std::make_unique<cache::CacheModel<cache::NoPayload>>(
+            cfg.icache,
+            makeBasicPolicy(cfg.policy, cfg.sdbp, cfg.ship, 0x1CACE));
+        btb = std::make_unique<branch::Btb>(
+            cfg.btb, makeBasicPolicy(cfg.policy, cfg.sdbp, cfg.ship,
+                                     0xB7B));
+    }
+
+    direction = makeDirection(cfg.direction);
+    if (cfg.useIndirectPredictor)
+        indirect = std::make_unique<branch::IndirectPredictor>(
+            cfg.indirect);
+
+    if (cfg.trackEfficiency) {
+        icacheEff = std::make_unique<stats::EfficiencyTracker>(
+            icache->numSets(), icache->numWays());
+        icache->attachTracker(icacheEff.get());
+        btbEff = std::make_unique<stats::EfficiencyTracker>(
+            btb->cacheModel().numSets(), btb->cacheModel().numWays());
+        btb->cacheModel().attachTracker(btbEff.get());
+    }
+}
+
+FrontendSim::~FrontendSim() = default;
+
+FrontendResult
+FrontendSim::run(const trace::Trace &tr)
+{
+    FrontendResult result;
+    result.traceName = tr.name;
+    result.policy = policyName(cfg.policy);
+
+    result.totalInstructions = countInstructions(tr, cfg.instBytes);
+    result.warmupInstructions = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            cfg.warmupFraction *
+            static_cast<double>(result.totalInstructions)),
+        cfg.warmupCapInstructions);
+
+    trace::FetchStreamWalker walker(tr.entryPc, cfg.icache.blockBytes,
+                                    cfg.instBytes);
+    bool warm = result.warmupInstructions == 0;
+    // Fetch-buffer coalescing: consecutive fetch runs that stay within
+    // the block just fetched do not re-access the I-cache (a real
+    // front-end fetches the whole block once; short intra-block jumps
+    // consume it from the fetch buffer).
+    Addr last_block = ~Addr{0};
+
+    for (const trace::BranchRecord &rec : tr.records) {
+        // ---- fetch the sequential run ending at this branch --------
+        const Addr run_start = walker.currentPc();
+        walker.advance(rec, [&](Addr block_addr) {
+            if (block_addr == last_block)
+                return;
+            last_block = block_addr;
+            const Addr fetch_pc = std::max(run_start, block_addr);
+            const cache::AccessOutcome out =
+                icache->access(block_addr, fetch_pc);
+            if (!out.hit && cfg.nextLinePrefetch > 0) {
+                for (std::uint32_t n = 1; n <= cfg.nextLinePrefetch; ++n)
+                    icache->prefetch(
+                        block_addr +
+                            static_cast<Addr>(n) * cfg.icache.blockBytes,
+                        fetch_pc);
+            }
+            if (ghrpPredictor) {
+                // The fetch-address stream updates both the speculative
+                // and the retired path history; in a trace-driven model
+                // fetch and commit coincide.
+                ghrpPredictor->updateSpecHistory(fetch_pc);
+                ghrpPredictor->updateRetiredHistory(fetch_pc);
+            }
+        });
+
+        // ---- direction prediction ----------------------------------
+        if (trace::isConditional(rec.type)) {
+            ++result.condBranches;
+            const bool predicted = direction->predict(rec.pc);
+            const bool mispredicted = predicted != rec.taken;
+            if (mispredicted)
+                ++result.condMispredicts;
+            direction->update(rec.pc, rec.taken);
+
+            if (mispredicted && ghrpPredictor) {
+                // Model wrong-path pollution of the speculative history
+                // and its recovery from the retired history.
+                const Addr wrong_base =
+                    predicted ? rec.target : rec.pc + cfg.instBytes;
+                for (std::uint32_t i = 0; i < cfg.wrongPathNoise; ++i)
+                    ghrpPredictor->updateSpecHistory(
+                        wrong_base + static_cast<Addr>(i) * cfg.instBytes);
+                if (cfg.recoverGhrpHistory)
+                    ghrpPredictor->recoverHistory();
+            }
+        }
+
+        // ---- BTB and RAS -------------------------------------------
+        if (rec.taken) {
+            if (rec.type == trace::BranchType::Return && cfg.useRas) {
+                ++result.rasReturns;
+                if (ras.pop() != rec.target)
+                    ++result.rasMispredicts;
+            } else {
+                // Indirect target prediction: the indirect predictor
+                // (when attached) overrides the BTB's last-seen target.
+                if (trace::isIndirect(rec.type)) {
+                    ++result.indirectBranches;
+                    std::optional<Addr> predicted;
+                    if (indirect)
+                        predicted = indirect->predict(rec.pc);
+                    if (!predicted)
+                        predicted = btb->predictTarget(rec.pc);
+                    if (!predicted || *predicted != rec.target)
+                        ++result.indirectMispredicts;
+                    if (indirect)
+                        indirect->update(rec.pc, rec.target);
+                }
+                const branch::BtbResult br =
+                    btb->accessTaken(rec.pc, rec.target);
+                if (br.hit && !br.targetMatched)
+                    ++result.btbTargetMismatches;
+            }
+        }
+        if (trace::isCall(rec.type) && rec.taken && cfg.useRas)
+            ras.push(rec.pc + cfg.instBytes);
+
+        // ---- warm-up boundary ---------------------------------------
+        if (!warm &&
+            walker.instructionCount() >= result.warmupInstructions) {
+            warm = true;
+            icache->resetStats();
+            btb->resetStats();
+            result.condBranches = 0;
+            result.condMispredicts = 0;
+            result.btbTargetMismatches = 0;
+            result.rasReturns = 0;
+            result.rasMispredicts = 0;
+            result.indirectBranches = 0;
+            result.indirectMispredicts = 0;
+        }
+    }
+
+    result.measuredInstructions =
+        walker.instructionCount() >= result.warmupInstructions
+            ? walker.instructionCount() - result.warmupInstructions
+            : 0;
+    result.icache = icache->accessStats();
+    result.btb = btb->accessStats();
+    result.icacheMpki = result.icache.mpki(result.measuredInstructions);
+    result.btbMpki = result.btb.mpki(result.measuredInstructions);
+
+    if (icacheEff)
+        icacheEff->finalize(icache->ticks());
+    if (btbEff)
+        btbEff->finalize(btb->cacheModel().ticks());
+
+    return result;
+}
+
+FrontendResult
+simulateTrace(const FrontendConfig &config, const trace::Trace &tr)
+{
+    FrontendSim sim(config);
+    return sim.run(tr);
+}
+
+} // namespace ghrp::frontend

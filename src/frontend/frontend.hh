@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Trace-driven decoupled front-end simulator: replays a branch trace,
+ * reconstructs the fetch-block stream, and drives the I-cache, BTB,
+ * direction predictor, return address stack and (for GHRP) the shared
+ * dead-block predictor. Not cycle accurate — MPKI is the figure of
+ * merit, as in the paper (Section IV-A).
+ */
+
+#ifndef GHRP_FRONTEND_FRONTEND_HH
+#define GHRP_FRONTEND_FRONTEND_HH
+
+#include <memory>
+#include <string>
+
+#include "branch/btb.hh"
+#include "branch/direction.hh"
+#include "branch/indirect.hh"
+#include "branch/ras.hh"
+#include "cache/cache.hh"
+#include "cache/config.hh"
+#include "predictor/ghrp.hh"
+#include "predictor/sdbp.hh"
+#include "predictor/ship.hh"
+#include "stats/efficiency.hh"
+#include "trace/branch_record.hh"
+
+namespace ghrp::frontend
+{
+
+/** Replacement policies the harness can instantiate. */
+enum class PolicyKind : std::uint8_t
+{
+    Lru,
+    Random,
+    Fifo,
+    Srrip,
+    Brrip,
+    Drrip,
+    Sdbp,
+    Ship,  ///< SHiP [Wu et al. 2011], extension baseline
+    Ghrp
+};
+
+/** Display name ("LRU", "GHRP", ...). */
+const char *policyName(PolicyKind kind);
+
+/** Parse a policy name (case-insensitive); fatal() on error. */
+PolicyKind parsePolicy(const std::string &name);
+
+/** The five policies evaluated in the paper's figures. */
+inline constexpr PolicyKind paperPolicies[] = {
+    PolicyKind::Lru, PolicyKind::Random, PolicyKind::Srrip,
+    PolicyKind::Sdbp, PolicyKind::Ghrp};
+
+/** Direction predictors available to the front-end. */
+enum class DirectionKind : std::uint8_t
+{
+    HashedPerceptron,  ///< the paper's predictor
+    Gshare,
+    Bimodal
+};
+
+/** Front-end configuration. */
+struct FrontendConfig
+{
+    cache::CacheConfig icache = cache::CacheConfig::icache(64, 8);
+    cache::CacheConfig btb = cache::CacheConfig::btb(4096, 4);
+    PolicyKind policy = PolicyKind::Lru;
+    DirectionKind direction = DirectionKind::HashedPerceptron;
+
+    predictor::GhrpConfig ghrp;
+    predictor::SdbpConfig sdbp;
+    predictor::ShipConfig ship;
+
+    bool useRas = true;  ///< returns predicted by the RAS, not the BTB
+
+    /**
+     * Attach the path-history-indexed indirect target predictor (the
+     * paper's future-work extension). When off, indirect targets come
+     * from the BTB's last-seen target.
+     */
+    bool useIndirectPredictor = false;
+    branch::IndirectConfig indirect;
+
+    /** Warm-up: first min(fraction * total, cap) instructions excluded
+     *  from the reported statistics (paper Section IV-C). */
+    double warmupFraction = 0.5;
+    std::uint64_t warmupCapInstructions = 200'000'000;
+
+    /**
+     * Use the stand-alone BTB GHRP (own tables, history and per-entry
+     * signatures) instead of the paper's shared-metadata coupling —
+     * the "dedicated vs shared" ablation of Section III-E.
+     */
+    bool ghrpDedicatedBtb = false;
+
+    /** Speculative-history recovery on mispredictions (Section III-F);
+     *  disabling it is an ablation. */
+    bool recoverGhrpHistory = true;
+    /** Wrong-path fetch addresses injected into the speculative
+     *  history per misprediction, before recovery. */
+    std::uint32_t wrongPathNoise = 3;
+
+    /**
+     * Next-line instruction prefetch degree: on a demand I-cache miss,
+     * prefetch the following N sequential blocks (0 = off, the paper's
+     * configuration). Interacts with replacement: prefetched blocks
+     * that are dead-on-arrival pollute exactly like scan traffic.
+     */
+    std::uint32_t nextLinePrefetch = 0;
+
+    bool trackEfficiency = false;  ///< attach heat-map trackers
+    std::uint32_t instBytes = 4;
+};
+
+/** Results of one simulation. */
+struct FrontendResult
+{
+    std::string traceName;
+    std::string policy;
+
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t warmupInstructions = 0;
+    std::uint64_t measuredInstructions = 0;
+
+    stats::AccessStats icache;  ///< post-warm-up
+    stats::AccessStats btb;     ///< post-warm-up (taken branches)
+    double icacheMpki = 0.0;
+    double btbMpki = 0.0;
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t btbTargetMismatches = 0;
+    std::uint64_t rasReturns = 0;
+    std::uint64_t rasMispredicts = 0;
+    std::uint64_t indirectBranches = 0;      ///< taken indirect branches
+    std::uint64_t indirectMispredicts = 0;   ///< wrong/missing target
+
+    /** Indirect target mispredictions per 1000 instructions. */
+    double
+    indirectMpki() const
+    {
+        return measuredInstructions
+                   ? static_cast<double>(indirectMispredicts) * 1000.0 /
+                         static_cast<double>(measuredInstructions)
+                   : 0.0;
+    }
+
+    double
+    mispredictRate() const
+    {
+        return condBranches
+                   ? static_cast<double>(condMispredicts) / condBranches
+                   : 0.0;
+    }
+};
+
+/**
+ * The simulator. Construct once per (config, trace) run; the
+ * structures are warm only within a single run() call.
+ */
+class FrontendSim
+{
+  public:
+    explicit FrontendSim(const FrontendConfig &config);
+    ~FrontendSim();
+
+    /** Simulate one trace and return the post-warm-up statistics. */
+    FrontendResult run(const trace::Trace &trace);
+
+    /** Heat-map trackers (non-null only when trackEfficiency). */
+    stats::EfficiencyTracker *icacheTracker() { return icacheEff.get(); }
+    stats::EfficiencyTracker *btbTracker() { return btbEff.get(); }
+
+    /** Underlying structures, for white-box tests. */
+    cache::CacheModel<cache::NoPayload> &icacheModel() { return *icache; }
+    branch::Btb &btbModel() { return *btb; }
+
+  private:
+    FrontendConfig cfg;
+
+    std::unique_ptr<predictor::GhrpPredictor> ghrpPredictor;
+    predictor::GhrpReplacement *icacheGhrp = nullptr;  ///< borrowed
+
+    std::unique_ptr<cache::CacheModel<cache::NoPayload>> icache;
+    std::unique_ptr<branch::Btb> btb;
+    std::unique_ptr<branch::DirectionPredictor> direction;
+    std::unique_ptr<branch::IndirectPredictor> indirect;
+    branch::ReturnAddressStack ras;
+
+    std::unique_ptr<stats::EfficiencyTracker> icacheEff;
+    std::unique_ptr<stats::EfficiencyTracker> btbEff;
+};
+
+/**
+ * Convenience: simulate @p trace under @p config and return results.
+ */
+FrontendResult simulateTrace(const FrontendConfig &config,
+                             const trace::Trace &trace);
+
+} // namespace ghrp::frontend
+
+#endif // GHRP_FRONTEND_FRONTEND_HH

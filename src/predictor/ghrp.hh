@@ -1,0 +1,316 @@
+/**
+ * @file
+ * Global History Reuse Prediction (GHRP) — the paper's contribution.
+ *
+ * GHRP predicts dead blocks in the I-cache (and dead entries in the
+ * BTB) from a signature that hashes a 16-bit global path history of
+ * instruction addresses with the PC of the access being predicted.
+ * Three skewed tables of 2-bit counters are read, thresholded and
+ * majority-voted. Predicted-dead blocks are preferred victims and
+ * predicted-dead fills are bypassed.
+ */
+
+#ifndef GHRP_PREDICTOR_GHRP_HH
+#define GHRP_PREDICTOR_GHRP_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/lru_stack.hh"
+#include "cache/replacement.hh"
+#include "predictor/pred_tables.hh"
+#include "util/bit_ops.hh"
+
+namespace ghrp::predictor
+{
+
+/** Tuning knobs for GHRP (paper defaults). */
+struct GhrpConfig
+{
+    std::uint32_t tableEntries = 4096; ///< entries per prediction table
+    unsigned counterBits = 3;          ///< counter width (tuned; the
+                                       ///< paper's 2-bit tables are the
+                                       ///< "c2" ablation variant)
+    unsigned historyBits = 16;         ///< path-history register width
+    unsigned shiftPerAccess = 4;       ///< history bits shifted per access
+    unsigned pcBitsPerAccess = 3;      ///< PC bits pushed per access
+
+    std::uint32_t deadThreshold = 5;   ///< replacement vote threshold
+    std::uint32_t bypassThreshold = 7; ///< bypass vote threshold (stricter)
+    bool bypassEnabled = true;
+
+    /** BTB thresholds are tuned separately (paper Section III-E). */
+    std::uint32_t btbDeadThreshold = 5;
+    std::uint32_t btbBypassThreshold = 8; ///< > counter max disables
+    bool btbBypassEnabled = false;
+
+    /**
+     * Victim staleness guard: among predicted-dead blocks choose the
+     * least recently used one, and never dead-evict the MRU block (it
+     * was touched this generation — the prediction is most likely a
+     * false positive). Disabled in the "no staleness guard" ablation.
+     */
+    bool requireStaleVictim = true;
+
+    bool majorityVote = true;          ///< false = summation (ablation)
+    std::uint32_t sumDeadThreshold = 12;   ///< used when !majorityVote
+    std::uint32_t sumBypassThreshold = 18; ///< used when !majorityVote
+
+    /**
+     * Low PC bits dropped before feeding the *history* register. With
+     * 4-byte instructions and 64-byte fetch blocks the informative
+     * unit of the path is the block number (pc >> 6); lower bits are
+     * zero for most fetch addresses and would push empty nibbles.
+     */
+    unsigned historyPcShift = 6;
+
+    /**
+     * Low PC bits dropped before the signature XOR. Instruction grain
+     * (pc >> 2) keeps the *entry offset* into the block — whether the
+     * block was entered by fall-through or as a branch target — which
+     * is itself reuse-relevant context.
+     */
+    unsigned pcAlignShift = 2;
+};
+
+/**
+ * Shared GHRP prediction state: the path history registers (speculative
+ * and retired) and the three skewed counter tables. One instance is
+ * shared between the I-cache replacement policy and the BTB replacement
+ * policy, as in the paper.
+ */
+class GhrpPredictor
+{
+  public:
+    explicit GhrpPredictor(const GhrpConfig &config = GhrpConfig{});
+
+    // ---- path history ---------------------------------------------
+    /**
+     * Push one access address into the speculative history: shift left
+     * by shiftPerAccess, insert pcBitsPerAccess low PC bits followed by
+     * a zero bit (Algorithm 2 of the paper).
+     */
+    void updateSpecHistory(Addr pc);
+
+    /** Push one retired access address into the retired history. */
+    void updateRetiredHistory(Addr pc);
+
+    /** Restore the speculative history from the retired history
+     *  (branch misprediction recovery, paper Section III-F). */
+    void recoverHistory();
+
+    /** Current speculative history value. */
+    std::uint32_t specHistory() const { return spec; }
+
+    /** Current retired history value. */
+    std::uint32_t retiredHistory() const { return retired; }
+
+    // ---- prediction -----------------------------------------------
+    /** Signature for an access at @p pc given the current speculative
+     *  history (Algorithm 2 line 4: history XOR PC). */
+    std::uint16_t signature(Addr pc) const;
+
+    /** Stateless variant used in tests: signature for explicit history. */
+    std::uint16_t signatureFor(Addr pc, std::uint32_t history) const;
+
+    /** Dead prediction for @p sig at the replacement threshold. */
+    bool predictDead(std::uint16_t sig) const;
+
+    /** Dead prediction for @p sig at the bypass threshold. */
+    bool predictBypass(std::uint16_t sig) const;
+
+    /** Dead prediction at the BTB replacement threshold. */
+    bool predictBtbDead(std::uint16_t sig) const;
+
+    /** Dead prediction at the BTB bypass threshold. */
+    bool predictBtbBypass(std::uint16_t sig) const;
+
+    /** Train the tables: @p sig led to a dead block (eviction without
+     *  reuse) or to a reuse. */
+    void train(std::uint16_t sig, bool dead);
+
+    const GhrpConfig &config() const { return cfg; }
+    const PredictionTables &tables() const { return bank; }
+
+    /** Storage of the prediction tables + history registers, in bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    bool vote(std::uint16_t sig, std::uint32_t majority_threshold,
+              std::uint32_t sum_threshold) const;
+
+    GhrpConfig cfg;
+    PredictionTables bank;
+    std::uint32_t historyMask;
+    std::uint32_t spec = 0;
+    std::uint32_t retired = 0;
+};
+
+/**
+ * GHRP replacement + bypass for the I-cache. Keeps the per-block
+ * metadata of the paper: 16-bit signature, 1 prediction bit, and LRU
+ * stack position (the fallback victim order).
+ */
+class GhrpReplacement : public cache::ReplacementPolicy
+{
+  public:
+    /** @param predictor shared prediction state (not owned). */
+    explicit GhrpReplacement(GhrpPredictor &predictor);
+
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    bool shouldBypass(const cache::AccessInfo &info) override;
+    std::uint32_t chooseVictim(const cache::AccessInfo &info) override;
+    void onHit(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onEvict(const cache::AccessInfo &info, std::uint32_t way,
+                 Addr victim_addr) override;
+    std::string name() const override { return "GHRP"; }
+    bool lastVictimWasDead() const override { return lastDead; }
+
+    /** Stored signature of frame (set, way) — read by the BTB policy. */
+    std::uint16_t signatureAt(std::uint32_t set, std::uint32_t way) const;
+
+    /** Stored prediction bit of frame (set, way). */
+    bool predictionAt(std::uint32_t set, std::uint32_t way) const;
+
+    GhrpPredictor &predictor() { return pred; }
+
+  private:
+    struct Meta
+    {
+        std::uint16_t signature = 0;
+        bool predictedDead = false;
+    };
+
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    GhrpPredictor &pred;
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<Meta> meta;
+    cache::LruStack lru;
+    bool lastDead = false;
+};
+
+/**
+ * GHRP replacement for the BTB (paper Section III-E). Reuses the
+ * I-cache prediction tables and the signature stored with the branch's
+ * I-cache block; each BTB entry carries only one extra prediction bit.
+ */
+class GhrpBtbReplacement : public cache::ReplacementPolicy
+{
+  public:
+    /**
+     * @param predictor shared prediction state (not owned).
+     * @param icache_policy the I-cache's GHRP policy, for block
+     *        signatures (not owned).
+     * @param icache the I-cache itself, to locate a branch's block
+     *        (not owned).
+     */
+    GhrpBtbReplacement(GhrpPredictor &predictor,
+                       GhrpReplacement &icache_policy,
+                       cache::CacheModel<cache::NoPayload> &icache);
+
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    bool shouldBypass(const cache::AccessInfo &info) override;
+    std::uint32_t chooseVictim(const cache::AccessInfo &info) override;
+    void onHit(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
+    std::string name() const override { return "GHRP"; }
+    bool lastVictimWasDead() const override { return lastDead; }
+
+    /** Coupling telemetry (how BTB predictions were sourced). */
+    struct CouplingStats
+    {
+        std::uint64_t accesses = 0;       ///< onHit + onFill
+        std::uint64_t residentBlock = 0;  ///< signature from I-cache meta
+        std::uint64_t fallback = 0;       ///< block absent, fresh signature
+        std::uint64_t predictedDead = 0;  ///< dead bit set
+    };
+
+    const CouplingStats &couplingStats() const { return coupling; }
+
+  private:
+    /** Signature for the branch at @p pc: the one stored with its
+     *  I-cache block when resident, else computed from the current
+     *  history. */
+    std::uint16_t signatureFor(Addr pc) const;
+
+    mutable CouplingStats coupling;
+
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    GhrpPredictor &pred;
+    GhrpReplacement &icachePolicy;
+    cache::CacheModel<cache::NoPayload> &icache;
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<std::uint8_t> deadBit;
+    cache::LruStack lru;
+    bool lastDead = false;
+};
+
+
+/**
+ * Stand-alone GHRP for the BTB — the design the paper tried first and
+ * rejected (Section III-E: "the size of the predictor would be so
+ * large that it would make more sense to simply increase the BTB
+ * size"). Owns its own prediction tables, path history (updated with
+ * branch PCs) and per-entry signatures. Exists as the "dedicated vs
+ * shared BTB metadata" ablation.
+ */
+class GhrpBtbDedicated : public cache::ReplacementPolicy
+{
+  public:
+    explicit GhrpBtbDedicated(const GhrpConfig &config = GhrpConfig{});
+
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    bool shouldBypass(const cache::AccessInfo &info) override;
+    std::uint32_t chooseVictim(const cache::AccessInfo &info) override;
+    void onHit(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onEvict(const cache::AccessInfo &info, std::uint32_t way,
+                 Addr victim_addr) override;
+    std::string name() const override { return "GHRP-dedicated"; }
+    bool lastVictimWasDead() const override { return lastDead; }
+
+    /** Storage cost of the dedicated predictor (tables + history +
+     *  per-entry signatures), in bits — the paper's size argument. */
+    std::uint64_t storageBits() const;
+
+    GhrpPredictor &predictor() { return pred; }
+
+  private:
+    struct Meta
+    {
+        std::uint16_t signature = 0;
+        bool predictedDead = false;
+    };
+
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    GhrpPredictor pred;  ///< owned, unlike the shared variant
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<Meta> meta;
+    cache::LruStack lru;
+    bool lastDead = false;
+};
+
+} // namespace ghrp::predictor
+
+#endif // GHRP_PREDICTOR_GHRP_HH

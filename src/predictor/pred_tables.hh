@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Skewed prediction-table bank shared by GHRP and SDBP: N tables of
+ * n-bit saturating counters, each indexed by a distinct hash of a
+ * signature, aggregated by majority vote (GHRP) or summation (SDBP).
+ */
+
+#ifndef GHRP_PREDICTOR_PRED_TABLES_HH
+#define GHRP_PREDICTOR_PRED_TABLES_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_ops.hh"
+#include "util/logging.hh"
+
+namespace ghrp::predictor
+{
+
+/** Number of skewed tables (the paper uses three). */
+constexpr unsigned numPredTables = 3;
+
+/** Indices into each of the three tables for one signature. */
+using TableIndices = std::array<std::uint32_t, numPredTables>;
+
+/**
+ * Three skewed tables of saturating counters. Counters are stored as
+ * raw integers with explicit saturation; the width is a constructor
+ * parameter (2 bits for GHRP, 8 bits for the adapted SDBP).
+ */
+class PredictionTables
+{
+  public:
+    /**
+     * @param entries entries per table (power of two, 4096 in paper).
+     * @param counter_bits counter width, 1..8.
+     */
+    PredictionTables(std::uint32_t entries, unsigned counter_bits)
+        : numEntries(entries),
+          counterMax(static_cast<std::uint8_t>((1u << counter_bits) - 1)),
+          indexBits(floorLog2(entries))
+    {
+        GHRP_ASSERT(isPowerOf2(entries));
+        GHRP_ASSERT(counter_bits >= 1 && counter_bits <= 8);
+        for (auto &table : tables)
+            table.assign(entries, 0);
+    }
+
+    /**
+     * Compute the three skewed indices for @p signature.
+     *
+     * Each table uses a distinct multiplicative hash so aliasing in one
+     * table is uncorrelated with aliasing in the others (the paper's
+     * "three different 12-bit hashes of the 16-bit signature").
+     */
+    TableIndices
+    computeIndices(std::uint32_t signature) const
+    {
+        static constexpr std::uint32_t kMul[numPredTables] = {
+            0x9E3779B1u, 0x85EBCA77u, 0xC2B2AE3Du};
+        TableIndices idx;
+        for (unsigned t = 0; t < numPredTables; ++t) {
+            const std::uint32_t h = signature * kMul[t];
+            idx[t] = (h >> (32 - indexBits)) & (numEntries - 1);
+        }
+        return idx;
+    }
+
+    /** Read the three counters at @p idx. */
+    std::array<std::uint8_t, numPredTables>
+    readCounters(const TableIndices &idx) const
+    {
+        std::array<std::uint8_t, numPredTables> counters;
+        for (unsigned t = 0; t < numPredTables; ++t)
+            counters[t] = tables[t][idx[t]];
+        return counters;
+    }
+
+    /**
+     * Majority vote: dead when two or more counters meet @p threshold.
+     */
+    bool
+    majorityVote(const TableIndices &idx, std::uint32_t threshold) const
+    {
+        unsigned votes = 0;
+        for (unsigned t = 0; t < numPredTables; ++t)
+            if (tables[t][idx[t]] >= threshold)
+                ++votes;
+        return votes * 2 > numPredTables;
+    }
+
+    /** Summation: dead when the counter sum meets @p threshold. */
+    bool
+    sumVote(const TableIndices &idx, std::uint32_t threshold) const
+    {
+        std::uint32_t sum = 0;
+        for (unsigned t = 0; t < numPredTables; ++t)
+            sum += tables[t][idx[t]];
+        return sum >= threshold;
+    }
+
+    /**
+     * Train the three counters: increment when the signature led to a
+     * dead block, decrement when it led to a reuse.
+     */
+    void
+    train(const TableIndices &idx, bool dead)
+    {
+        for (unsigned t = 0; t < numPredTables; ++t) {
+            std::uint8_t &counter = tables[t][idx[t]];
+            if (dead) {
+                if (counter < counterMax)
+                    ++counter;
+            } else {
+                if (counter > 0)
+                    --counter;
+            }
+        }
+    }
+
+    /** Zero all counters. */
+    void
+    clear()
+    {
+        for (auto &table : tables)
+            table.assign(numEntries, 0);
+    }
+
+    std::uint32_t entriesPerTable() const { return numEntries; }
+    std::uint8_t counterMaximum() const { return counterMax; }
+
+    /** Total storage in bits (for the Table I storage model). */
+    std::uint64_t
+    storageBits() const
+    {
+        unsigned bits = 0;
+        std::uint8_t v = counterMax;
+        while (v) {
+            ++bits;
+            v >>= 1;
+        }
+        return static_cast<std::uint64_t>(numPredTables) * numEntries * bits;
+    }
+
+  private:
+    std::uint32_t numEntries;
+    std::uint8_t counterMax;
+    unsigned indexBits;
+    std::array<std::vector<std::uint8_t>, numPredTables> tables;
+};
+
+} // namespace ghrp::predictor
+
+#endif // GHRP_PREDICTOR_PRED_TABLES_HH

@@ -1,0 +1,141 @@
+#include "predictor/sdbp.hh"
+
+#include "util/logging.hh"
+
+namespace ghrp::predictor
+{
+
+SdbpReplacement::SdbpReplacement(const SdbpConfig &config)
+    : cfg(config), bank(cfg.tableEntries, cfg.counterBits)
+{
+}
+
+void
+SdbpReplacement::reset(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    sets = num_sets;
+    ways = num_ways;
+    sampler.assign(static_cast<std::size_t>(sets) * ways, SamplerEntry{});
+    samplerLru.reset(sets, ways);
+    deadBit.assign(static_cast<std::size_t>(sets) * ways, 0);
+    lru.reset(sets, ways);
+}
+
+std::uint16_t
+SdbpReplacement::partialPc(Addr pc) const
+{
+    return static_cast<std::uint16_t>(
+        foldXor(pc >> cfg.pcAlignShift, cfg.signatureBits));
+}
+
+std::uint16_t
+SdbpReplacement::samplerTag(Addr addr) const
+{
+    return static_cast<std::uint16_t>(
+        foldXor(addr, cfg.samplerTagBits));
+}
+
+bool
+SdbpReplacement::predictDead(std::uint16_t sig) const
+{
+    return bank.sumVote(bank.computeIndices(sig), cfg.deadThreshold);
+}
+
+void
+SdbpReplacement::sampleAccess(const cache::AccessInfo &info)
+{
+    // Guard against double-sampling one access: shouldBypass and the
+    // fill hooks may both run for the same tick.
+    if (info.tick == lastSampledTick)
+        return;
+    lastSampledTick = info.tick;
+
+    const std::uint16_t tag = samplerTag(info.address);
+    const std::uint16_t sig = partialPc(info.pc);
+    const std::uint32_t set = info.set;
+
+    // Sampler lookup.
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        SamplerEntry &entry = sampler[index(set, w)];
+        if (entry.valid && entry.tag == tag) {
+            // Reuse: the signature of the previous access to this
+            // block did not lead to a dead block.
+            bank.train(bank.computeIndices(entry.signature), false);
+            entry.signature = sig;
+            samplerLru.touch(set, w);
+            return;
+        }
+    }
+
+    // Sampler miss: victimize an invalid entry or the sampler-LRU one,
+    // training "dead" for the victim's last signature.
+    std::uint32_t victim = ways;
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (!sampler[index(set, w)].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways) {
+        victim = samplerLru.lruWay(set);
+        bank.train(bank.computeIndices(sampler[index(set, victim)].signature),
+                   true);
+    }
+    SamplerEntry &entry = sampler[index(set, victim)];
+    entry.valid = true;
+    entry.tag = tag;
+    entry.signature = sig;
+    samplerLru.touch(set, victim);
+}
+
+bool
+SdbpReplacement::shouldBypass(const cache::AccessInfo &info)
+{
+    sampleAccess(info);
+    if (!cfg.bypassEnabled)
+        return false;
+    return bank.sumVote(bank.computeIndices(partialPc(info.pc)),
+                        cfg.bypassThreshold);
+}
+
+std::uint32_t
+SdbpReplacement::chooseVictim(const cache::AccessInfo &info)
+{
+    for (std::uint32_t w = 0; w < ways; ++w) {
+        if (deadBit[index(info.set, w)]) {
+            lastDead = true;
+            return w;
+        }
+    }
+    lastDead = false;
+    return lru.lruWay(info.set);
+}
+
+void
+SdbpReplacement::onHit(const cache::AccessInfo &info, std::uint32_t way)
+{
+    sampleAccess(info);
+    deadBit[index(info.set, way)] = predictDead(partialPc(info.pc)) ? 1 : 0;
+    lru.touch(info.set, way);
+}
+
+void
+SdbpReplacement::onFill(const cache::AccessInfo &info, std::uint32_t way)
+{
+    deadBit[index(info.set, way)] = predictDead(partialPc(info.pc)) ? 1 : 0;
+    lru.touch(info.set, way);
+}
+
+std::uint64_t
+SdbpReplacement::storageBits() const
+{
+    const std::uint64_t frames = static_cast<std::uint64_t>(sets) * ways;
+    // Sampler entry: valid + prediction + 3 LRU bits + signature + tag.
+    const std::uint64_t sampler_bits =
+        frames * (1 + 1 + 3 + cfg.signatureBits + cfg.samplerTagBits);
+    // Main-cache metadata: prediction bit + 3 LRU bits per block.
+    const std::uint64_t block_bits = frames * (1 + 3);
+    return bank.storageBits() + sampler_bits + block_bits;
+}
+
+} // namespace ghrp::predictor

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Sampling-based Dead Block Prediction [Khan, Tian, Jiménez — MICRO
+ * 2010], adapted for instruction streams as described in Sections II-A
+ * and IV-A of the GHRP paper:
+ *
+ *  - the sampler is as large as the cache (same sets, same ways),
+ *    because set-sampling cannot generalize when the PC itself indexes
+ *    the structure;
+ *  - 8-bit counters instead of 2-bit;
+ *  - three skewed prediction tables, aggregated by summation;
+ *  - tuned dead and bypass thresholds.
+ */
+
+#ifndef GHRP_PREDICTOR_SDBP_HH
+#define GHRP_PREDICTOR_SDBP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/lru_stack.hh"
+#include "cache/replacement.hh"
+#include "predictor/pred_tables.hh"
+#include "util/bit_ops.hh"
+
+namespace ghrp::predictor
+{
+
+/** Tuning knobs for the adapted SDBP. */
+struct SdbpConfig
+{
+    std::uint32_t tableEntries = 4096;
+    unsigned counterBits = 8;       ///< modified from the original 2
+    unsigned signatureBits = 12;    ///< partial-PC signature width
+    unsigned samplerTagBits = 16;   ///< partial tags in the sampler
+
+    std::uint32_t deadThreshold = 64;    ///< counter-sum threshold
+    std::uint32_t bypassThreshold = 160; ///< stricter for bypass
+    bool bypassEnabled = true;
+
+    /** Low PC bits dropped before hashing: block-number granularity,
+     *  making SDBP the pure per-block dead predictor that Section II-A
+     *  says PC-based prediction degenerates to for instruction
+     *  streams. */
+    unsigned pcAlignShift = 6;
+};
+
+/**
+ * SDBP replacement + bypass. Self-contained: owns its prediction
+ * tables and its full-size sampler. Works for both the I-cache and the
+ * BTB (the structure's tag address and the accessing PC are supplied
+ * through AccessInfo).
+ */
+class SdbpReplacement : public cache::ReplacementPolicy
+{
+  public:
+    explicit SdbpReplacement(const SdbpConfig &config = SdbpConfig{});
+
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    bool shouldBypass(const cache::AccessInfo &info) override;
+    std::uint32_t chooseVictim(const cache::AccessInfo &info) override;
+    void onHit(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
+    std::string name() const override { return "SDBP"; }
+    bool lastVictimWasDead() const override { return lastDead; }
+
+    const SdbpConfig &config() const { return cfg; }
+
+    /** Partial-PC signature (exposed for tests). */
+    std::uint16_t partialPc(Addr pc) const;
+
+    /** Dead prediction at the replacement threshold (for tests). */
+    bool predictDead(std::uint16_t sig) const;
+
+    /** Storage cost of tables + sampler + per-block metadata, bits. */
+    std::uint64_t storageBits() const;
+
+  private:
+    struct SamplerEntry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint16_t signature = 0;
+    };
+
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    /**
+     * Update the (full-size) sampler for this access and train the
+     * prediction tables on sampler hits and evictions. Called on every
+     * access, from onHit and shouldBypass.
+     */
+    void sampleAccess(const cache::AccessInfo &info);
+
+    std::uint16_t samplerTag(Addr addr) const;
+
+    SdbpConfig cfg;
+    PredictionTables bank;
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+
+    std::vector<SamplerEntry> sampler;
+    cache::LruStack samplerLru;
+
+    std::vector<std::uint8_t> deadBit;  ///< per main-cache block
+    cache::LruStack lru;
+    bool lastDead = false;
+    std::uint64_t lastSampledTick = ~std::uint64_t{0};
+};
+
+} // namespace ghrp::predictor
+
+#endif // GHRP_PREDICTOR_SDBP_HH

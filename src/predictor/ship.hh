@@ -1,0 +1,82 @@
+/**
+ * @file
+ * SHiP — Signature-based Hit Predictor [Wu et al., MICRO 2011] —
+ * adapted for instruction streams the same way Section II-A of the
+ * GHRP paper adapts SDBP: set-sampling cannot generalize when the PC
+ * indexes the structure, so the signature history counter table (SHCT)
+ * is trained by every set, and the signature is the block-granular PC
+ * hash that PC-based prediction degenerates to for I-caches.
+ *
+ * SHiP rides on SRRIP: the SHCT only chooses the *insertion* RRPV
+ * (distant for signatures with no observed re-reference, long
+ * otherwise); victim selection is standard RRIP aging.
+ */
+
+#ifndef GHRP_PREDICTOR_SHIP_HH
+#define GHRP_PREDICTOR_SHIP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "util/bit_ops.hh"
+
+namespace ghrp::predictor
+{
+
+/** Tuning knobs for the adapted SHiP. */
+struct ShipConfig
+{
+    std::uint32_t shctEntries = 16384; ///< signature counter table size
+    unsigned shctBits = 3;             ///< SHCT counter width
+    unsigned rrpvBits = 2;             ///< RRIP value width
+    unsigned signatureBits = 14;       ///< signature hash width
+    /** Low PC bits dropped before hashing (block grain, see above). */
+    unsigned pcAlignShift = 6;
+};
+
+/** SHiP replacement policy (SRRIP + signature-steered insertion). */
+class ShipReplacement : public cache::ReplacementPolicy
+{
+  public:
+    explicit ShipReplacement(const ShipConfig &config = ShipConfig{});
+
+    void reset(std::uint32_t num_sets, std::uint32_t num_ways) override;
+    std::uint32_t chooseVictim(const cache::AccessInfo &info) override;
+    void onHit(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
+    void onEvict(const cache::AccessInfo &info, std::uint32_t way,
+                 Addr victim_addr) override;
+    std::string name() const override { return "SHiP"; }
+
+    /** Signature for @p pc (exposed for tests). */
+    std::uint32_t signatureOf(Addr pc) const;
+
+    /** Current SHCT counter for @p sig (exposed for tests). */
+    std::uint32_t shctOf(std::uint32_t sig) const;
+
+  private:
+    struct Meta
+    {
+        std::uint32_t signature = 0;
+        bool wasReused = false;  ///< outcome bit
+    };
+
+    std::size_t
+    index(std::uint32_t set, std::uint32_t way) const
+    {
+        return static_cast<std::size_t>(set) * ways + way;
+    }
+
+    ShipConfig cfg;
+    std::uint8_t rrpvMax;
+    std::uint32_t sets = 0;
+    std::uint32_t ways = 0;
+    std::vector<std::uint8_t> rrpv;
+    std::vector<Meta> meta;
+    std::vector<std::uint8_t> shct;
+};
+
+} // namespace ghrp::predictor
+
+#endif // GHRP_PREDICTOR_SHIP_HH

@@ -1,0 +1,112 @@
+#include "stats/confidence.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/running_stats.hh"
+#include "util/logging.hh"
+
+namespace ghrp::stats
+{
+
+namespace
+{
+
+/** Inverse standard-normal CDF (Acklam's rational approximation). */
+double
+normalQuantile(double p)
+{
+    GHRP_ASSERT(p > 0.0 && p < 1.0);
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    const double phigh = 1 - plow;
+
+    if (p < plow) {
+        const double q = std::sqrt(-2 * std::log(p));
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    if (p > phigh) {
+        const double q = std::sqrt(-2 * std::log(1 - p));
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+                 c[5]) /
+               ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+    }
+    const double q = p - 0.5;
+    const double r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+}
+
+} // anonymous namespace
+
+double
+tQuantile(std::uint64_t dof, double confidence)
+{
+    GHRP_ASSERT(dof >= 1);
+    GHRP_ASSERT(confidence > 0.0 && confidence < 1.0);
+    const double p = 1.0 - (1.0 - confidence) / 2.0;
+
+    // Exact two-sided 95% values for the first few degrees of freedom,
+    // where the normal expansion is least accurate.
+    if (confidence > 0.949 && confidence < 0.951 && dof <= 10) {
+        static const double exact95[] = {12.706, 4.303, 3.182, 2.776, 2.571,
+                                         2.447,  2.365, 2.306, 2.262, 2.228};
+        return exact95[dof - 1];
+    }
+
+    const double z = normalQuantile(p);
+    // Cornish-Fisher expansion of the t quantile in terms of z.
+    const double n = static_cast<double>(dof);
+    const double z3 = z * z * z;
+    const double z5 = z3 * z * z;
+    const double z7 = z5 * z * z;
+    return z + (z3 + z) / (4 * n) + (5 * z5 + 16 * z3 + 3 * z) / (96 * n * n) +
+           (3 * z7 + 19 * z5 + 17 * z3 - 15 * z) / (384 * n * n * n);
+}
+
+ConfidenceInterval
+meanConfidence(const std::vector<double> &samples, double confidence)
+{
+    ConfidenceInterval ci;
+    if (samples.empty())
+        return ci;
+
+    RunningStats rs;
+    for (double s : samples)
+        rs.add(s);
+    ci.mean = rs.mean();
+    if (samples.size() < 2)
+        return ci;
+    ci.halfWidth = tQuantile(samples.size() - 1, confidence) * rs.stderror();
+    return ci;
+}
+
+double
+quantile(std::vector<double> samples, double q)
+{
+    GHRP_ASSERT(!samples.empty());
+    GHRP_ASSERT(q >= 0.0 && q <= 1.0);
+    std::sort(samples.begin(), samples.end());
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= samples.size())
+        return samples.back();
+    return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+} // namespace ghrp::stats

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Fixed-bin histogram used for trace characterization (branch distance
+ * distributions, reuse-interval distributions) and workload validation.
+ */
+
+#ifndef GHRP_STATS_HISTOGRAM_HH
+#define GHRP_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace ghrp::stats
+{
+
+/** Linear-bin histogram over [lo, hi) with out-of-range buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo inclusive lower bound of the tracked range.
+     * @param hi exclusive upper bound.
+     * @param nbins number of equal-width bins.
+     */
+    Histogram(double lo, double hi, std::uint32_t nbins)
+        : loBound(lo), hiBound(hi), bins(nbins, 0)
+    {
+        GHRP_ASSERT(hi > lo && nbins > 0);
+        binWidth = (hi - lo) / nbins;
+    }
+
+    /** Add one sample. */
+    void
+    add(double x)
+    {
+        ++total;
+        if (x < loBound) {
+            ++underflow;
+        } else if (x >= hiBound) {
+            ++overflow;
+        } else {
+            auto idx = static_cast<std::size_t>((x - loBound) / binWidth);
+            if (idx >= bins.size())
+                idx = bins.size() - 1;
+            ++bins[idx];
+        }
+    }
+
+    std::uint64_t count() const { return total; }
+    std::uint64_t underflowCount() const { return underflow; }
+    std::uint64_t overflowCount() const { return overflow; }
+    std::uint64_t binCount(std::size_t i) const { return bins.at(i); }
+    std::size_t numBins() const { return bins.size(); }
+
+    /** Lower edge of bin @p i. */
+    double binLow(std::size_t i) const { return loBound + binWidth * i; }
+
+    /** Fraction of in-range samples at or below bin @p i. */
+    double
+    cumulativeFraction(std::size_t i) const
+    {
+        std::uint64_t cum = underflow;
+        for (std::size_t b = 0; b <= i && b < bins.size(); ++b)
+            cum += bins[b];
+        return total ? static_cast<double>(cum) / total : 0.0;
+    }
+
+    /** Render a simple vertical-bar text chart. */
+    std::string
+    render(std::uint32_t width = 50) const
+    {
+        std::uint64_t peak = 1;
+        for (std::uint64_t b : bins)
+            peak = b > peak ? b : peak;
+        std::string out;
+        char label[64];
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+            std::snprintf(label, sizeof(label), "%12.2f | ", binLow(i));
+            out += label;
+            const auto len = static_cast<std::size_t>(
+                static_cast<double>(bins[i]) / peak * width);
+            out.append(len, '#');
+            std::snprintf(label, sizeof(label), " %llu\n",
+                          static_cast<unsigned long long>(bins[i]));
+            out += label;
+        }
+        return out;
+    }
+
+  private:
+    double loBound;
+    double hiBound;
+    double binWidth;
+    std::vector<std::uint64_t> bins;
+    std::uint64_t underflow = 0;
+    std::uint64_t overflow = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace ghrp::stats
+
+#endif // GHRP_STATS_HISTOGRAM_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Streaming mean/variance accumulator (Welford's algorithm) plus simple
+ * min/max tracking, used for per-suite MPKI aggregation.
+ */
+
+#ifndef GHRP_STATS_RUNNING_STATS_HH
+#define GHRP_STATS_RUNNING_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace ghrp::stats
+{
+
+/** Online accumulator for mean, variance, min, and max of a stream. */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void
+    add(double x)
+    {
+        ++n;
+        const double delta = x - meanVal;
+        meanVal += delta / static_cast<double>(n);
+        m2 += delta * (x - meanVal);
+        if (x < minVal)
+            minVal = x;
+        if (x > maxVal)
+            maxVal = x;
+        sumVal += x;
+    }
+
+    /** Number of observations so far. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n ? meanVal : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return sumVal; }
+
+    /** Unbiased sample variance (0 when n < 2). */
+    double
+    variance() const
+    {
+        return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Standard error of the mean. */
+    double
+    stderror() const
+    {
+        return n > 0 ? stddev() / std::sqrt(static_cast<double>(n)) : 0.0;
+    }
+
+    /** Minimum observation (+inf when empty). */
+    double min() const { return minVal; }
+
+    /** Maximum observation (-inf when empty). */
+    double max() const { return maxVal; }
+
+  private:
+    std::uint64_t n = 0;
+    double meanVal = 0.0;
+    double m2 = 0.0;
+    double sumVal = 0.0;
+    double minVal = std::numeric_limits<double>::infinity();
+    double maxVal = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace ghrp::stats
+
+#endif // GHRP_STATS_RUNNING_STATS_HH

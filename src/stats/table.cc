@@ -1,0 +1,119 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace ghrp::stats
+{
+
+TextTable::TextTable(std::vector<std::string> column_names)
+    : header(std::move(column_names))
+{
+    GHRP_ASSERT(!header.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != header.size())
+        panic("table row has %zu cells, expected %zu", cells.size(),
+              header.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+TextTable::num(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::string &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out.append(widths[c] - row[c].size() + 2, ' ');
+        }
+        out.push_back('\n');
+    };
+
+    std::string out;
+    emit_row(header, out);
+    const std::size_t total =
+        std::accumulate(widths.begin(), widths.end(), std::size_t{0}) +
+        2 * (widths.size() - 1);
+    out.append(total, '-');
+    out.push_back('\n');
+    for (const auto &row : rows)
+        emit_row(row, out);
+    return out;
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto emit_row = [](const std::vector<std::string> &row,
+                       std::string &out) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out += row[c];
+            if (c + 1 < row.size())
+                out.push_back(',');
+        }
+        out.push_back('\n');
+    };
+    std::string out;
+    emit_row(header, out);
+    for (const auto &row : rows)
+        emit_row(row, out);
+    return out;
+}
+
+void
+TextTable::writeCsv(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        fatal("cannot open '%s' for writing", path.c_str());
+    file << renderCsv();
+}
+
+SCurve
+SCurve::byAscending(const std::vector<double> &baseline)
+{
+    SCurve curve;
+    curve.order.resize(baseline.size());
+    std::iota(curve.order.begin(), curve.order.end(), std::size_t{0});
+    std::stable_sort(curve.order.begin(), curve.order.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         return baseline[a] < baseline[b];
+                     });
+    return curve;
+}
+
+std::vector<double>
+SCurve::apply(const std::vector<double> &series) const
+{
+    GHRP_ASSERT(series.size() == order.size());
+    std::vector<double> out(series.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        out[i] = series[order[i]];
+    return out;
+}
+
+} // namespace ghrp::stats

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Text output helpers: aligned ASCII tables (for the figure/table
+ * regeneration harness) and CSV writing (for plotting externally).
+ */
+
+#ifndef GHRP_STATS_TABLE_HH
+#define GHRP_STATS_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace ghrp::stats
+{
+
+/**
+ * A simple column-aligned text table. Rows are added as string cells;
+ * numeric helpers format doubles with a fixed precision.
+ */
+class TextTable
+{
+  public:
+    /** @param column_names header row. */
+    explicit TextTable(std::vector<std::string> column_names);
+
+    /** Append a fully formatted row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Format a double with @p precision digits after the point. */
+    static std::string num(double value, int precision = 3);
+
+    /** Render with padded columns, a header underline, and newlines. */
+    std::string render() const;
+
+    /** Render as comma-separated values (header + rows). */
+    std::string renderCsv() const;
+
+    /** Write renderCsv() output to @p path. */
+    void writeCsv(const std::string &path) const;
+
+    std::size_t numRows() const { return rows.size(); }
+    std::size_t numColumns() const { return header.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Sorted S-curve series: given per-benchmark values for a baseline and
+ * several policies, order benchmarks by the baseline value (the paper
+ * sorts by LRU MPKI) and return the reordered series.
+ */
+struct SCurve
+{
+    /** Benchmark order (indices into the original vectors). */
+    std::vector<std::size_t> order;
+
+    /**
+     * Build the ordering by ascending @p baseline value.
+     */
+    static SCurve byAscending(const std::vector<double> &baseline);
+
+    /** Apply the ordering to one series. */
+    std::vector<double> apply(const std::vector<double> &series) const;
+};
+
+} // namespace ghrp::stats
+
+#endif // GHRP_STATS_TABLE_HH

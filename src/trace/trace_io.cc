@@ -1,0 +1,118 @@
+#include "trace/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace ghrp::trace
+{
+
+namespace
+{
+
+constexpr char traceMagic[8] = {'G', 'H', 'R', 'P', 'T', 'R', 'C', '\1'};
+
+template <typename T>
+void
+writeScalar(std::ofstream &file, T value)
+{
+    file.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+T
+readScalar(std::ifstream &file, const std::string &path)
+{
+    T value{};
+    file.read(reinterpret_cast<char *>(&value), sizeof(value));
+    if (!file)
+        fatal("truncated trace file '%s'", path.c_str());
+    return value;
+}
+
+void
+writeString(std::ofstream &file, const std::string &s)
+{
+    writeScalar<std::uint32_t>(file, static_cast<std::uint32_t>(s.size()));
+    file.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string
+readString(std::ifstream &file, const std::string &path)
+{
+    const auto len = readScalar<std::uint32_t>(file, path);
+    if (len > (1u << 20))
+        fatal("corrupt string length in trace file '%s'", path.c_str());
+    std::string s(len, '\0');
+    file.read(s.data(), len);
+    if (!file)
+        fatal("truncated trace file '%s'", path.c_str());
+    return s;
+}
+
+} // anonymous namespace
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    std::ofstream file(path, std::ios::binary);
+    if (!file)
+        fatal("cannot create trace file '%s'", path.c_str());
+
+    file.write(traceMagic, sizeof(traceMagic));
+    writeScalar<std::uint32_t>(file, traceFormatVersion);
+    writeScalar<std::uint64_t>(file, trace.entryPc);
+    writeScalar<std::uint64_t>(file, trace.records.size());
+    writeString(file, trace.name);
+    writeString(file, trace.category);
+
+    for (const BranchRecord &rec : trace.records) {
+        writeScalar<std::uint64_t>(file, rec.pc);
+        writeScalar<std::uint64_t>(file, rec.target);
+        writeScalar<std::uint8_t>(file, static_cast<std::uint8_t>(rec.type));
+        writeScalar<std::uint8_t>(file, rec.taken ? 1 : 0);
+    }
+    if (!file)
+        fatal("error writing trace file '%s'", path.c_str());
+}
+
+Trace
+readTrace(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        fatal("cannot open trace file '%s'", path.c_str());
+
+    char magic[8];
+    file.read(magic, sizeof(magic));
+    if (!file || std::memcmp(magic, traceMagic, sizeof(magic)) != 0)
+        fatal("'%s' is not a GHRP trace file", path.c_str());
+
+    const auto version = readScalar<std::uint32_t>(file, path);
+    if (version != traceFormatVersion)
+        fatal("trace file '%s' has version %u, expected %u", path.c_str(),
+              version, traceFormatVersion);
+
+    Trace trace;
+    trace.entryPc = readScalar<std::uint64_t>(file, path);
+    const auto n = readScalar<std::uint64_t>(file, path);
+    trace.name = readString(file, path);
+    trace.category = readString(file, path);
+
+    trace.records.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        BranchRecord rec;
+        rec.pc = readScalar<std::uint64_t>(file, path);
+        rec.target = readScalar<std::uint64_t>(file, path);
+        const auto type = readScalar<std::uint8_t>(file, path);
+        if (type >= numBranchTypes)
+            fatal("corrupt branch type %u in '%s'", type, path.c_str());
+        rec.type = static_cast<BranchType>(type);
+        rec.taken = readScalar<std::uint8_t>(file, path) != 0;
+        trace.records.push_back(rec);
+    }
+    return trace;
+}
+
+} // namespace ghrp::trace

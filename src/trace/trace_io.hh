@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Binary trace file format with a versioned header, so generated
+ * workload suites can be stored and replayed without regeneration.
+ *
+ * Layout (little-endian):
+ *   magic     8 bytes  "GHRPTRC\1"
+ *   version   u32
+ *   entry_pc  u64
+ *   n_records u64
+ *   name_len  u32, name bytes
+ *   cat_len   u32, category bytes
+ *   records   n_records * { pc u64, target u64, type u8, taken u8 }
+ */
+
+#ifndef GHRP_TRACE_TRACE_IO_HH
+#define GHRP_TRACE_TRACE_IO_HH
+
+#include <string>
+
+#include "trace/branch_record.hh"
+
+namespace ghrp::trace
+{
+
+/** Current trace file format version. */
+constexpr std::uint32_t traceFormatVersion = 1;
+
+/**
+ * Write @p trace to @p path. Calls fatal() when the file cannot be
+ * created or written.
+ */
+void writeTrace(const Trace &trace, const std::string &path);
+
+/**
+ * Read a trace from @p path. Calls fatal() on missing files, magic
+ * mismatch, or version mismatch.
+ */
+Trace readTrace(const std::string &path);
+
+} // namespace ghrp::trace
+
+#endif // GHRP_TRACE_TRACE_IO_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the synthetic
+ * workload generator and the Random replacement policy.
+ *
+ * We use xoroshiro128++ rather than std::mt19937 so trace generation is
+ * reproducible across standard-library implementations.
+ */
+
+#ifndef GHRP_UTIL_RANDOM_HH
+#define GHRP_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace ghrp
+{
+
+/**
+ * xoroshiro128++ generator (Blackman & Vigna). Deterministic for a given
+ * seed on every platform; passes BigCrush.
+ */
+class Rng
+{
+  public:
+    /** Seed via SplitMix64 expansion of a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) without modulo bias; bound > 0. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t nextRange(std::int64_t lo, std::int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool nextBool(double p = 0.5);
+
+    /**
+     * Geometric-ish burst length: 1 + number of successes before the
+     * first failure with continuation probability @p p. Used for loop
+     * trip counts and phase lengths.
+     */
+    std::uint64_t nextGeometric(double p);
+
+    /**
+     * Zipf-distributed integer in [0, n). Popular ranks are small
+     * indices. @p s is the skew parameter (s > 0; larger = more skewed).
+     */
+    std::uint64_t nextZipf(std::uint64_t n, double s);
+
+    /** Choose an index from a discrete weight vector (weights >= 0). */
+    std::size_t nextWeighted(const std::vector<double> &weights);
+
+  private:
+    std::uint64_t s0;
+    std::uint64_t s1;
+};
+
+} // namespace ghrp
+
+#endif // GHRP_UTIL_RANDOM_HH

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Saturating counter template used by the dead-block prediction tables,
+ * SRRIP re-reference values, and branch predictor components.
+ */
+
+#ifndef GHRP_UTIL_SAT_COUNTER_HH
+#define GHRP_UTIL_SAT_COUNTER_HH
+
+#include <cstdint>
+
+#include "util/logging.hh"
+
+namespace ghrp
+{
+
+/**
+ * An n-bit unsigned saturating counter. Width is a runtime parameter so
+ * prediction tables can be configured (the paper uses 2-bit counters for
+ * GHRP and 8-bit counters for the adapted SDBP).
+ */
+class SatCounter
+{
+  public:
+    SatCounter() = default;
+
+    /**
+     * @param nbits counter width in bits, 1..31.
+     * @param initial initial counter value (clamped to the maximum).
+     */
+    explicit SatCounter(unsigned nbits, std::uint32_t initial = 0)
+        : maxVal((1u << nbits) - 1),
+          value(initial > maxVal ? maxVal : initial)
+    {
+        GHRP_ASSERT(nbits >= 1 && nbits <= 31);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value < maxVal)
+            ++value;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value > 0)
+            --value;
+    }
+
+    /** Current counter value. */
+    std::uint32_t count() const { return value; }
+
+    /** Largest representable value. */
+    std::uint32_t maximum() const { return maxVal; }
+
+    /** True when the counter is at its maximum. */
+    bool saturated() const { return value == maxVal; }
+
+    /** Reset to an explicit value (clamped). */
+    void
+    set(std::uint32_t v)
+    {
+        value = v > maxVal ? maxVal : v;
+    }
+
+    /** Thresholded prediction: counter >= threshold. */
+    bool atLeast(std::uint32_t threshold) const { return value >= threshold; }
+
+  private:
+    std::uint32_t maxVal = 3;
+    std::uint32_t value = 0;
+};
+
+/**
+ * A signed saturating weight for perceptron-style predictors, clamped to
+ * [-(2^(n-1)), 2^(n-1) - 1].
+ */
+class SignedSatCounter
+{
+  public:
+    SignedSatCounter() = default;
+
+    explicit SignedSatCounter(unsigned nbits, std::int32_t initial = 0)
+        : minVal(-(1 << (nbits - 1))), maxVal((1 << (nbits - 1)) - 1),
+          value(initial)
+    {
+        GHRP_ASSERT(nbits >= 2 && nbits <= 31);
+        if (value < minVal)
+            value = minVal;
+        if (value > maxVal)
+            value = maxVal;
+    }
+
+    /** Move the weight toward +1 (taken) or -1 (not taken). */
+    void
+    train(bool up)
+    {
+        if (up) {
+            if (value < maxVal)
+                ++value;
+        } else {
+            if (value > minVal)
+                --value;
+        }
+    }
+
+    std::int32_t count() const { return value; }
+    std::int32_t minimum() const { return minVal; }
+    std::int32_t maximum() const { return maxVal; }
+
+  private:
+    std::int32_t minVal = -128;
+    std::int32_t maxVal = 127;
+    std::int32_t value = 0;
+};
+
+} // namespace ghrp
+
+#endif // GHRP_UTIL_SAT_COUNTER_HH

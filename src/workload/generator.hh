@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Random program generation: builds a Program (control-flow graph)
+ * matching a WorkloadParams envelope. Generation is deterministic for
+ * a given parameter set (including its seed).
+ */
+
+#ifndef GHRP_WORKLOAD_GENERATOR_HH
+#define GHRP_WORKLOAD_GENERATOR_HH
+
+#include "workload/params.hh"
+#include "workload/program.hh"
+
+namespace ghrp::workload
+{
+
+/**
+ * Generate a synthetic program.
+ *
+ * Structure: function 0 is a dispatcher with an indirect call site used
+ * by the executor to drive phase-based scheduling. The remaining
+ * functions are grouped into modules and split between "regular"
+ * functions (loops, calls, biased conditionals) and long straight-line
+ * "scan" functions that are touched rarely and become dead-block
+ * fodder. The static call graph is a DAG (callee index > caller index)
+ * so execution cannot recurse unboundedly.
+ */
+Program generateProgram(const WorkloadParams &params);
+
+/** True when function @p func of @p program is a scan function. */
+bool isScanFunction(const Program &program, std::uint32_t func);
+
+} // namespace ghrp::workload
+
+#endif // GHRP_WORKLOAD_GENERATOR_HH

@@ -1,0 +1,127 @@
+#include "workload/params.hh"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ghrp::workload
+{
+
+const char *
+categoryName(Category category)
+{
+    switch (category) {
+      case Category::ShortMobile:
+        return "SHORT-MOBILE";
+      case Category::LongMobile:
+        return "LONG-MOBILE";
+      case Category::ShortServer:
+        return "SHORT-SERVER";
+      case Category::LongServer:
+        return "LONG-SERVER";
+    }
+    return "UNKNOWN";
+}
+
+Category
+parseCategory(const std::string &name)
+{
+    std::string upper(name);
+    std::transform(upper.begin(), upper.end(), upper.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    if (upper == "SHORT-MOBILE")
+        return Category::ShortMobile;
+    if (upper == "LONG-MOBILE")
+        return Category::LongMobile;
+    if (upper == "SHORT-SERVER")
+        return Category::ShortServer;
+    if (upper == "LONG-SERVER")
+        return Category::LongServer;
+    fatal("unknown workload category '%s'", name.c_str());
+}
+
+WorkloadParams
+makeParams(Category category, std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.category = category;
+    p.seed = seed;
+
+    // A per-seed RNG perturbs the shape within the category envelope so
+    // that different seeds give structurally different programs, the
+    // way the 662 CBP-5 traces differ from one another.
+    Rng rng(seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+
+    const bool server = category == Category::ShortServer ||
+                        category == Category::LongServer;
+    const bool longRun = category == Category::LongMobile ||
+                         category == Category::LongServer;
+
+    if (server) {
+        // Large instruction footprints (several MB of code), deep
+        // module structure, heavy BTB pressure: tens of thousands of
+        // static branches, streaming loops bigger than the I-cache.
+        p.numModules = 8 + static_cast<std::uint32_t>(rng.nextBounded(5));
+        p.funcsPerModuleLo = 120;
+        p.funcsPerModuleHi = 240;
+        p.blocksPerFuncLo = 4;
+        p.blocksPerFuncHi = 28;
+        p.scanCodeFraction = 0.20 + rng.nextDouble() * 0.10;
+        p.scanBlocksLo = 60;
+        p.scanBlocksHi = 180;
+        p.bigLoopFraction = 0.03 + rng.nextDouble() * 0.04;
+        p.bigLoopBlocksLo = 1200;
+        p.bigLoopBlocksHi = 2800;
+        p.bigLoopTripLo = 2;
+        p.bigLoopTripHi = 4;
+        p.bigLoopCallProbability = 0.0015 + rng.nextDouble() * 0.0035;
+        p.phaseLengthInstructions = 150'000 + rng.nextBounded(150'000);
+        p.zipfSkew = 1.2 + rng.nextDouble() * 0.3;
+        p.scanCallProbability = 0.08 + rng.nextDouble() * 0.06;
+        p.crossModuleCallFraction = 0.08 + rng.nextDouble() * 0.08;
+        p.maxFunctionCost = 10'000 + rng.nextBounded(10'000);
+        // Stub farms are off by default: they flood the BTB with taken
+        // sites but drown the learnable reuse structure. The btb-stress
+        // workload (see bench/ablation_btb_stress) enables them.
+        p.stubFarmFraction = 0.0;
+    } else {
+        // Mobile: smaller hot loops, code footprint a few times the
+        // 64KB I-cache, fewer static branches (BTB mostly fits).
+        p.numModules = 3 + static_cast<std::uint32_t>(rng.nextBounded(3));
+        p.funcsPerModuleLo = 80;
+        p.funcsPerModuleHi = 180;
+        p.blocksPerFuncLo = 4;
+        p.blocksPerFuncHi = 22;
+        p.scanCodeFraction = 0.15 + rng.nextDouble() * 0.12;
+        p.scanBlocksLo = 30;
+        p.scanBlocksHi = 100;
+        p.bigLoopFraction = 0.02 + rng.nextDouble() * 0.03;
+        p.bigLoopBlocksLo = 500;
+        p.bigLoopBlocksHi = 1500;
+        p.bigLoopTripLo = 2;
+        p.bigLoopTripHi = 6;
+        p.bigLoopCallProbability = 0.004 + rng.nextDouble() * 0.008;
+        p.phaseLengthInstructions = 200'000 + rng.nextBounded(300'000);
+        p.zipfSkew = 1.3 + rng.nextDouble() * 0.4;
+        p.scanCallProbability = 0.05 + rng.nextDouble() * 0.05;
+        p.crossModuleCallFraction = 0.05 + rng.nextDouble() * 0.08;
+        p.maxFunctionCost = 5'000 + rng.nextBounded(7'000);
+        p.stubFarmFraction = 0.0;
+    }
+
+    p.targetInstructions = longRun ? 20'000'000 : 8'000'000;
+    p.loopFraction = 0.16 + rng.nextDouble() * 0.12;
+    p.callFraction = 0.12 + rng.nextDouble() * 0.10;
+    p.indirectCallFraction = 0.02 + rng.nextDouble() * 0.03;
+    p.switchFraction = 0.01 + rng.nextDouble() * 0.02;
+    p.loopTripMeanLo = 2;
+    p.loopTripMeanHi =
+        8 + static_cast<std::uint32_t>(rng.nextBounded(24));
+    p.biasSkew = 0.75 + rng.nextDouble() * 0.20;
+
+    return p;
+}
+
+} // namespace ghrp::workload

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Generation and execution parameters for the synthetic workloads,
+ * with presets for the four CBP-5 categories (SHORT/LONG x
+ * MOBILE/SERVER).
+ */
+
+#ifndef GHRP_WORKLOAD_PARAMS_HH
+#define GHRP_WORKLOAD_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace ghrp::workload
+{
+
+/** The four workload categories of the CBP-5 suite. */
+enum class Category : std::uint8_t
+{
+    ShortMobile,
+    LongMobile,
+    ShortServer,
+    LongServer
+};
+
+/** Human-readable category tag, matching the paper's spelling. */
+const char *categoryName(Category category);
+
+/** Knobs controlling program shape and dynamic behaviour. */
+struct WorkloadParams
+{
+    Category category = Category::ShortMobile;
+    std::uint64_t seed = 1;
+
+    // --- static program shape -------------------------------------
+    std::uint32_t numModules = 4;       ///< independent code regions
+    std::uint32_t funcsPerModuleLo = 8; ///< functions per module (min)
+    std::uint32_t funcsPerModuleHi = 20;///< functions per module (max)
+    std::uint32_t blocksPerFuncLo = 4;  ///< basic blocks per function
+    std::uint32_t blocksPerFuncHi = 24;
+    std::uint32_t instrsPerBlockLo = 2; ///< instructions per block
+    std::uint32_t instrsPerBlockHi = 14;
+
+    double callFraction = 0.18;     ///< blocks ending in a direct call
+    double indirectCallFraction = 0.03; ///< ... in an indirect call
+    double loopFraction = 0.22;     ///< blocks that are loop latches
+    double switchFraction = 0.02;   ///< blocks ending in indirect jumps
+    double crossModuleCallFraction = 0.10; ///< callees outside module
+
+    std::uint32_t loopTripMeanLo = 2;  ///< loop trip-count mean range
+    std::uint32_t loopTripMeanHi = 24;
+    double biasSkew = 0.85;         ///< fraction of strongly biased
+                                    ///< conditionals (bias >0.9 or <0.1)
+
+    /** Fraction of each module that is "cold scan" code: long
+     *  straight-line functions touched rarely and never reused soon —
+     *  the dead-block fodder that predictive replacement exploits. */
+    double scanCodeFraction = 0.25;
+    std::uint32_t scanBlocksLo = 30;  ///< blocks per scan function
+    std::uint32_t scanBlocksHi = 120;
+
+    /** Fraction of each module that is streaming-loop code: a loop
+     *  whose body footprint rivals or exceeds the I-cache, re-executed
+     *  a few times. Recency-based replacement thrashes on these;
+     *  reuse-predictive policies keep a resident subset. */
+    double bigLoopFraction = 0.05;
+    std::uint32_t bigLoopBlocksLo = 250;  ///< body blocks per big loop
+    std::uint32_t bigLoopBlocksHi = 900;
+    std::uint32_t bigLoopTripLo = 2;      ///< loop trip-count range
+    std::uint32_t bigLoopTripHi = 6;
+
+    /** Fraction of each module that is stub-farm code, plus its
+     *  shape: many tiny blocks, each ending in a short taken jump. */
+    double stubFarmFraction = 0.012;
+    std::uint32_t stubBlocksLo = 600;  ///< jump stubs per farm
+    std::uint32_t stubBlocksHi = 1500;
+
+    // --- dynamic behaviour ----------------------------------------
+    std::uint64_t targetInstructions = 4'000'000;
+    std::uint64_t phaseLengthInstructions = 400'000;
+    double zipfSkew = 1.2;          ///< function-popularity skew
+    double scanCallProbability = 0.04; ///< per-dispatch chance of a scan
+    double bigLoopCallProbability = 0.05; ///< ... of a streaming loop
+    double stubCallProbability = 0.05;    ///< ... of a stub farm
+    std::uint32_t maxCallDepth = 10;
+
+    /**
+     * Upper bound on a function's *expected subtree cost* (its own
+     * body including loop multiplicities plus everything it calls, in
+     * instructions). The generator enforces this bottom-up so one
+     * dispatcher call cannot blow through the whole instruction budget
+     * inside a single call tree.
+     */
+    std::uint64_t maxFunctionCost = 15'000;
+
+    /** Base of the code address space (functions laid out upward). */
+    std::uint64_t codeBase = 0x400000;
+    std::uint32_t instBytes = 4;
+    std::uint32_t functionGapBytes = 64; ///< padding between functions
+};
+
+/**
+ * Preset parameters for one category. The seed perturbs the static
+ * shape within the category's ranges, so two seeds of the same
+ * category produce structurally different programs.
+ */
+WorkloadParams makeParams(Category category, std::uint64_t seed);
+
+/** Parse "SHORT-MOBILE" etc. (case-insensitive). fatal() on error. */
+Category parseCategory(const std::string &name);
+
+} // namespace ghrp::workload
+
+#endif // GHRP_WORKLOAD_PARAMS_HH

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Synthetic program model: a control-flow graph of functions and basic
+ * blocks laid out in a flat code address space. Programs are generated
+ * randomly (per workload category) and then *executed* to produce a
+ * branch trace with fully consistent PCs, targets and fall-throughs —
+ * the stand-in for the CBP-5 industrial traces.
+ */
+
+#ifndef GHRP_WORKLOAD_PROGRAM_HH
+#define GHRP_WORKLOAD_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_ops.hh"
+
+namespace ghrp::workload
+{
+
+/** How a basic block ends. */
+enum class TermKind : std::uint8_t
+{
+    None,         ///< falls through into the next block (no branch)
+    CondForward,  ///< conditional branch to a later block (if/else)
+    CondLoop,     ///< backward conditional branch (loop latch)
+    Jump,         ///< unconditional direct jump within the function
+    Call,         ///< direct call to a single callee
+    IndirectCall, ///< indirect call with a callee set
+    IndirectJump, ///< indirect jump with a target-block set (switch)
+    Return        ///< return to caller
+};
+
+/** One basic block: a run of sequential instructions plus terminator. */
+struct BasicBlock
+{
+    Addr start = 0;            ///< address of the first instruction
+    std::uint32_t numInstrs = 1; ///< instructions including terminator
+
+    TermKind term = TermKind::None;
+    double takenBias = 0.5;    ///< CondForward: probability taken
+    std::uint32_t targetBlock = 0; ///< block index for cond/jump/loop
+    std::uint32_t loopTripMean = 4; ///< CondLoop: mean trip count
+
+    std::vector<std::uint32_t> callees;       ///< function indices
+    std::vector<std::uint32_t> switchTargets; ///< block indices
+
+    /** Address of the terminator (last) instruction. */
+    Addr
+    terminatorPc(std::uint32_t inst_bytes) const
+    {
+        return start + static_cast<Addr>(numInstrs - 1) * inst_bytes;
+    }
+
+    /** Fall-through address (first instruction after the block). */
+    Addr
+    fallThrough(std::uint32_t inst_bytes) const
+    {
+        return start + static_cast<Addr>(numInstrs) * inst_bytes;
+    }
+};
+
+/** A function: contiguously laid-out basic blocks. */
+struct Function
+{
+    Addr entry = 0;
+    std::vector<BasicBlock> blocks;
+    std::uint32_t module = 0;  ///< module (code region) this belongs to
+    bool isScan = false;       ///< long straight-line rarely-reused code
+    /** Streaming loop whose body footprint can exceed the I-cache —
+     *  the pattern where recency-based replacement thrashes. */
+    bool isBigLoop = false;
+    /** Stub farm: dense 1-2 instruction blocks each ending in a taken
+     *  jump (PLT/jump-table-like code). Floods the BTB with an order
+     *  of magnitude more taken sites than I-cache blocks. */
+    bool isStubFarm = false;
+
+    /** Total size of the function in bytes. */
+    std::uint64_t
+    sizeBytes(std::uint32_t inst_bytes) const
+    {
+        std::uint64_t instrs = 0;
+        for (const BasicBlock &b : blocks)
+            instrs += b.numInstrs;
+        return instrs * inst_bytes;
+    }
+};
+
+/** A complete synthetic program. */
+struct Program
+{
+    std::uint32_t instBytes = 4;
+    std::vector<Function> functions;
+    /** Function indices grouped by module, for phase scheduling. */
+    std::vector<std::vector<std::uint32_t>> modules;
+    /** Index of the dispatcher ("main") function; always 0. */
+    std::uint32_t mainFunction = 0;
+
+    /** Total code footprint in bytes. */
+    std::uint64_t
+    footprintBytes() const
+    {
+        std::uint64_t total = 0;
+        for (const Function &f : functions)
+            total += f.sizeBytes(instBytes);
+        return total;
+    }
+};
+
+/**
+ * Validate structural invariants of a program: block addresses are
+ * contiguous, terminator targets are in range, callee/switch sets are
+ * non-empty where required. Calls panic() on violation (generator bug).
+ */
+void validateProgram(const Program &program);
+
+} // namespace ghrp::workload
+
+#endif // GHRP_WORKLOAD_PROGRAM_HH

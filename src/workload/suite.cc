@@ -1,0 +1,55 @@
+#include "workload/suite.hh"
+
+#include <cstdio>
+
+#include "workload/executor.hh"
+#include "workload/generator.hh"
+
+namespace ghrp::workload
+{
+
+std::vector<TraceSpec>
+makeSuite(std::uint32_t num_traces, std::uint64_t base_seed)
+{
+    static const Category cycle[] = {
+        Category::ShortMobile, Category::ShortServer,
+        Category::LongMobile, Category::LongServer};
+
+    std::vector<TraceSpec> suite;
+    suite.reserve(num_traces);
+    for (std::uint32_t i = 0; i < num_traces; ++i) {
+        TraceSpec spec;
+        spec.category = cycle[i % 4];
+        spec.seed = base_seed + i;
+        char name[64];
+        std::snprintf(name, sizeof(name), "%s-%02u",
+                      categoryName(spec.category), i / 4 + 1);
+        spec.name = name;
+        suite.push_back(std::move(spec));
+    }
+    return suite;
+}
+
+trace::Trace
+buildTrace(const TraceSpec &spec, std::uint64_t instruction_override)
+{
+    WorkloadParams params = makeParams(spec.category, spec.seed);
+    if (instruction_override != 0)
+        params.targetInstructions = instruction_override;
+
+    const Program program = generateProgram(params);
+
+    ExecParams exec;
+    exec.seed = spec.seed * 0x2545F4914F6CDD1Dull + 1;
+    exec.maxInstructions = params.targetInstructions;
+    exec.phaseLengthInstructions = params.phaseLengthInstructions;
+    exec.zipfSkew = params.zipfSkew;
+    exec.scanCallProbability = params.scanCallProbability;
+    exec.bigLoopCallProbability = params.bigLoopCallProbability;
+    exec.stubCallProbability = params.stubCallProbability;
+
+    return execute(program, exec, spec.name,
+                   categoryName(spec.category));
+}
+
+} // namespace ghrp::workload

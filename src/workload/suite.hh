@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Workload suite construction: the reproduction's stand-in for the 662
+ * CBP-5 traces. A suite is a list of (category, seed) specs; traces
+ * are generated lazily one at a time so a large suite does not need to
+ * be resident in memory.
+ */
+
+#ifndef GHRP_WORKLOAD_SUITE_HH
+#define GHRP_WORKLOAD_SUITE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+#include "workload/params.hh"
+
+namespace ghrp::workload
+{
+
+/** Identity of one synthetic benchmark. */
+struct TraceSpec
+{
+    Category category = Category::ShortMobile;
+    std::uint64_t seed = 1;
+    std::string name;
+};
+
+/**
+ * Build a suite of @p num_traces specs cycling through the four
+ * categories (the CBP-5 mix), with seeds derived from @p base_seed.
+ */
+std::vector<TraceSpec> makeSuite(std::uint32_t num_traces,
+                                 std::uint64_t base_seed = 42);
+
+/**
+ * Generate the trace for one spec.
+ *
+ * @param spec benchmark identity.
+ * @param instruction_override when nonzero, overrides the category's
+ *        default dynamic instruction budget (used to scale experiments
+ *        up or down from the command line).
+ */
+trace::Trace buildTrace(const TraceSpec &spec,
+                        std::uint64_t instruction_override = 0);
+
+} // namespace ghrp::workload
+
+#endif // GHRP_WORKLOAD_SUITE_HH

@@ -1,0 +1,90 @@
+/** @file Unit tests for the branch target buffer. */
+
+#include <gtest/gtest.h>
+
+#include "branch/btb.hh"
+#include "cache/basic_policies.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::branch;
+
+Btb
+makeBtb(std::uint32_t entries = 64, std::uint32_t assoc = 4)
+{
+    return Btb(cache::CacheConfig::btb(entries, assoc),
+               std::make_unique<cache::LruPolicy>());
+}
+
+TEST(Btb, MissThenHit)
+{
+    Btb btb = makeBtb();
+    const BtbResult miss = btb.accessTaken(0x1000, 0x2000);
+    EXPECT_FALSE(miss.hit);
+    const BtbResult hit = btb.accessTaken(0x1000, 0x2000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_TRUE(hit.targetMatched);
+}
+
+TEST(Btb, TargetMismatchDetectedAndUpdated)
+{
+    Btb btb = makeBtb();
+    btb.accessTaken(0x1000, 0x2000);
+    const BtbResult changed = btb.accessTaken(0x1000, 0x3000);
+    EXPECT_TRUE(changed.hit);
+    EXPECT_FALSE(changed.targetMatched);
+    // The stored target is updated.
+    EXPECT_EQ(btb.predictTarget(0x1000).value(), 0x3000u);
+}
+
+TEST(Btb, PredictTargetWithoutStateChange)
+{
+    Btb btb = makeBtb(8, 2);  // 4 sets
+    EXPECT_FALSE(btb.predictTarget(0x1000).has_value());
+    btb.accessTaken(0x1000, 0x2000);
+    // Probing must not refresh recency: fill the set and check the
+    // probed entry is still evicted in LRU order.
+    EXPECT_TRUE(btb.predictTarget(0x1000).has_value());
+    // Same set: pc advances by sets*4 bytes = 16.
+    btb.accessTaken(0x1010, 0xA);
+    btb.predictTarget(0x1000);
+    btb.accessTaken(0x1020, 0xB);  // evicts 0x1000 (LRU)
+    EXPECT_FALSE(btb.predictTarget(0x1000).has_value());
+}
+
+TEST(Btb, DistinctBranchesInOneBlockMapToDistinctSets)
+{
+    // Modulo indexing by pc >> 2: adjacent instructions hit adjacent
+    // sets (paper Section III-E point 3).
+    Btb btb = makeBtb(64, 4);  // 16 sets
+    const auto &model = btb.cacheModel();
+    EXPECT_NE(model.setIndex(0x1000), model.setIndex(0x1004));
+}
+
+TEST(Btb, StatsCountMisses)
+{
+    Btb btb = makeBtb();
+    btb.accessTaken(0x1000, 0x2000);
+    btb.accessTaken(0x1000, 0x2000);
+    btb.accessTaken(0x2000, 0x3000);
+    EXPECT_EQ(btb.accessStats().misses, 2u);
+    EXPECT_EQ(btb.accessStats().hits, 1u);
+    btb.resetStats();
+    EXPECT_EQ(btb.accessStats().accesses, 0u);
+}
+
+TEST(Btb, CapacityEviction)
+{
+    Btb btb = makeBtb(8, 2);  // 4 sets x 2 ways
+    // Three branches mapping to set 0: pc >> 2 multiples of 4.
+    btb.accessTaken(0x00, 1);
+    btb.accessTaken(0x10, 2);
+    btb.accessTaken(0x20, 3);
+    EXPECT_FALSE(btb.predictTarget(0x00).has_value());
+    EXPECT_TRUE(btb.predictTarget(0x10).has_value());
+    EXPECT_TRUE(btb.predictTarget(0x20).has_value());
+}
+
+} // anonymous namespace

@@ -1,0 +1,84 @@
+/** @file Unit tests for the indirect target predictor. */
+
+#include <gtest/gtest.h>
+
+#include "branch/indirect.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::branch;
+
+TEST(Indirect, ColdPredictsNothing)
+{
+    IndirectPredictor p;
+    EXPECT_FALSE(p.predict(0x1000).has_value());
+}
+
+TEST(Indirect, LearnsMonomorphicTarget)
+{
+    IndirectPredictor p;
+    for (int i = 0; i < 4; ++i)
+        p.update(0x1000, 0x2000);
+    // With a stable history (same target each time), the entry for the
+    // current history must hold the target.
+    const auto predicted = p.predict(0x1000);
+    ASSERT_TRUE(predicted.has_value());
+    EXPECT_EQ(*predicted, 0x2000u);
+}
+
+TEST(Indirect, LearnsCyclicTargetsViaHistory)
+{
+    // Target alternates A,B,A,B: last-target prediction is 0% correct
+    // after warmup; the history-indexed predictor approaches 100%.
+    IndirectPredictor p;
+    const Addr pc = 0x4000;
+    const Addr targets[2] = {0xA000, 0xB000};
+    int correct = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        const Addr actual = targets[i % 2];
+        const auto predicted = p.predict(pc);
+        if (predicted && *predicted == actual)
+            ++correct;
+        p.update(pc, actual);
+    }
+    EXPECT_GT(static_cast<double>(correct) / n, 0.9);
+}
+
+TEST(Indirect, HistoryUpdatesOnEveryResolve)
+{
+    IndirectPredictor p;
+    const std::uint32_t h0 = p.history();
+    p.update(0x1000, 0x2000);
+    EXPECT_NE(p.history(), h0);
+}
+
+TEST(Indirect, ConfidenceProtectsResidentEntries)
+{
+    IndirectConfig cfg;
+    cfg.entries = 16;  // force conflicts
+    IndirectPredictor p(cfg);
+    // Build confidence on one branch...
+    for (int i = 0; i < 3; ++i)
+        p.update(0x1000, 0x2000);
+    // ...then a single conflicting update must not immediately steal
+    // the entry (it only ages confidence).
+    // (Exact aliasing is hash-dependent; this is a smoke check that
+    // updates never crash and predictions stay type-sound.)
+    p.update(0x5554, 0x9000);
+    SUCCEED();
+}
+
+TEST(Indirect, StorageBits)
+{
+    IndirectConfig cfg;
+    cfg.entries = 2048;
+    cfg.tagBits = 10;
+    cfg.confBits = 2;
+    IndirectPredictor p(cfg);
+    EXPECT_EQ(p.storageBits(), 2048ull * (1 + 10 + 64 + 2));
+}
+
+} // anonymous namespace

@@ -1,0 +1,58 @@
+/** @file Unit tests for the return address stack. */
+
+#include <gtest/gtest.h>
+
+#include "branch/ras.hh"
+
+namespace
+{
+
+using ghrp::branch::ReturnAddressStack;
+
+TEST(Ras, LifoOrder)
+{
+    ReturnAddressStack ras(8);
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+}
+
+TEST(Ras, EmptyPopReturnsZero)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_TRUE(ras.empty());
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(2);
+    ras.push(1);
+    ras.push(2);
+    ras.push(3);  // overwrites the oldest
+    EXPECT_EQ(ras.size(), 2u);
+    EXPECT_EQ(ras.pop(), 3u);
+    EXPECT_EQ(ras.pop(), 2u);
+    EXPECT_TRUE(ras.empty());
+}
+
+TEST(Ras, SizeTracksPushPop)
+{
+    ReturnAddressStack ras(4);
+    EXPECT_EQ(ras.size(), 0u);
+    ras.push(1);
+    EXPECT_EQ(ras.size(), 1u);
+    ras.pop();
+    EXPECT_EQ(ras.size(), 0u);
+}
+
+TEST(Ras, DepthReported)
+{
+    ReturnAddressStack ras(32);
+    EXPECT_EQ(ras.depth(), 32u);
+}
+
+} // anonymous namespace

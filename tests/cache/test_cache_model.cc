@@ -1,0 +1,150 @@
+/** @file Unit tests for the generic set-associative cache model. */
+
+#include <gtest/gtest.h>
+
+#include "cache/basic_policies.hh"
+#include "cache/cache.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::cache;
+
+/** A policy that bypasses everything (for bypass-path testing). */
+class AlwaysBypass : public ReplacementPolicy
+{
+  public:
+    void reset(std::uint32_t, std::uint32_t) override {}
+    bool shouldBypass(const AccessInfo &) override { return true; }
+    std::uint32_t chooseVictim(const AccessInfo &) override { return 0; }
+    void onHit(const AccessInfo &, std::uint32_t) override {}
+    void onFill(const AccessInfo &, std::uint32_t) override {}
+    std::string name() const override { return "always-bypass"; }
+};
+
+CacheModel<>
+makeCache(std::uint32_t kb = 1, std::uint32_t assoc = 2)
+{
+    return CacheModel<>(CacheConfig::icache(kb, assoc),
+                        std::make_unique<LruPolicy>());
+}
+
+TEST(CacheModel, ColdMissThenHit)
+{
+    CacheModel<> c = makeCache();
+    const AccessOutcome miss = c.access(0x1000, 0x1000);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_FALSE(miss.evicted);
+    const AccessOutcome hit = c.access(0x1000, 0x1000);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(c.accessStats().hits, 1u);
+    EXPECT_EQ(c.accessStats().misses, 1u);
+}
+
+TEST(CacheModel, SameBlockDifferentOffsetsHit)
+{
+    CacheModel<> c = makeCache();
+    c.access(0x1000, 0x1000);
+    EXPECT_TRUE(c.access(0x103F, 0x103F).hit);
+    EXPECT_FALSE(c.access(0x1040, 0x1040).hit);
+}
+
+TEST(CacheModel, SetIndexing)
+{
+    CacheModel<> c = makeCache(1, 2);  // 1KB/64B/2-way = 8 sets
+    EXPECT_EQ(c.numSets(), 8u);
+    EXPECT_EQ(c.setIndex(0x0000), 0u);
+    EXPECT_EQ(c.setIndex(0x0040), 1u);
+    EXPECT_EQ(c.setIndex(0x0200), 0u);  // wraps modulo 8 blocks
+}
+
+TEST(CacheModel, EvictsLruWhenSetFull)
+{
+    CacheModel<> c = makeCache(1, 2);
+    // Three blocks in set 0 (stride = 8 blocks * 64B = 512B).
+    c.access(0x0000, 0);
+    c.access(0x0200, 0);
+    c.access(0x0000, 0);  // touch A -> B becomes LRU
+    const AccessOutcome out = c.access(0x0400, 0);
+    EXPECT_TRUE(out.evicted);
+    EXPECT_EQ(out.victimAddress, 0x0200u);
+    EXPECT_TRUE(c.access(0x0000, 0).hit);   // A survived
+    EXPECT_FALSE(c.access(0x0200, 0).hit);  // B was evicted
+}
+
+TEST(CacheModel, BypassDoesNotFill)
+{
+    CacheModel<> c(CacheConfig::icache(1, 2),
+                   std::make_unique<AlwaysBypass>());
+    const AccessOutcome out = c.access(0x1000, 0x1000);
+    EXPECT_TRUE(out.bypassed);
+    EXPECT_FALSE(c.probe(0x1000).has_value());
+    EXPECT_EQ(c.accessStats().bypasses, 1u);
+    EXPECT_EQ(c.accessStats().misses, 1u);
+}
+
+TEST(CacheModel, ProbeDoesNotTouchState)
+{
+    CacheModel<> c = makeCache(1, 2);
+    c.access(0x0000, 0);  // A
+    c.access(0x0200, 0);  // B; LRU = A
+    // Probing A must NOT refresh it.
+    EXPECT_TRUE(c.probe(0x0000).has_value());
+    c.access(0x0400, 0);  // evicts A (still LRU despite the probe)
+    EXPECT_FALSE(c.probe(0x0000).has_value());
+    EXPECT_TRUE(c.probe(0x0200).has_value());
+}
+
+TEST(CacheModel, PayloadStoredAndUpdated)
+{
+    CacheModel<Addr> c(CacheConfig::btb(64, 4),
+                       std::make_unique<LruPolicy>());
+    c.access(0x1000, 0x1000, 0xAAAA);
+    auto way = c.probe(0x1000);
+    ASSERT_TRUE(way.has_value());
+    EXPECT_EQ(c.payloadAt(0x1000, *way), 0xAAAAu);
+    c.access(0x1000, 0x1000, 0xBBBB);  // hit updates payload
+    EXPECT_EQ(c.payloadAt(0x1000, *way), 0xBBBBu);
+}
+
+TEST(CacheModel, InvalidateAll)
+{
+    CacheModel<> c = makeCache();
+    c.access(0x1000, 0);
+    c.invalidateAll();
+    EXPECT_FALSE(c.probe(0x1000).has_value());
+}
+
+TEST(CacheModel, ResetStatsKeepsContents)
+{
+    CacheModel<> c = makeCache();
+    c.access(0x1000, 0);
+    c.resetStats();
+    EXPECT_EQ(c.accessStats().accesses, 0u);
+    EXPECT_TRUE(c.access(0x1000, 0).hit);
+}
+
+TEST(CacheModel, TracksEfficiency)
+{
+    CacheModel<> c = makeCache(1, 2);
+    stats::EfficiencyTracker tracker(c.numSets(), c.numWays());
+    c.attachTracker(&tracker);
+    c.access(0x0000, 0);
+    c.access(0x0000, 0);
+    tracker.finalize(c.ticks());
+    EXPECT_GT(tracker.meanEfficiency(), 0.0);
+}
+
+TEST(CacheModel, DeadEvictionCounters)
+{
+    // LRU never reports dead victims.
+    CacheModel<> c = makeCache(1, 2);
+    c.access(0x0000, 0);
+    c.access(0x0200, 0);
+    c.access(0x0400, 0);
+    EXPECT_EQ(c.accessStats().evictions, 1u);
+    EXPECT_EQ(c.accessStats().deadEvictions, 0u);
+}
+
+} // anonymous namespace

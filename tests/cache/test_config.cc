@@ -1,0 +1,51 @@
+/** @file Unit tests for cache geometry configuration. */
+
+#include <gtest/gtest.h>
+
+#include "cache/config.hh"
+
+namespace
+{
+
+using ghrp::cache::CacheConfig;
+
+TEST(CacheConfig, IcacheGeometry)
+{
+    const CacheConfig c = CacheConfig::icache(64, 8);
+    EXPECT_EQ(c.sizeBytes, 64u * 1024);
+    EXPECT_EQ(c.blockBytes, 64u);
+    EXPECT_EQ(c.numSets(), 128u);
+    EXPECT_EQ(c.numBlocks(), 1024u);
+}
+
+TEST(CacheConfig, IcacheCustomBlock)
+{
+    const CacheConfig c = CacheConfig::icache(64, 8, 128);
+    EXPECT_EQ(c.numSets(), 64u);
+    EXPECT_EQ(c.numBlocks(), 512u);
+}
+
+TEST(CacheConfig, BtbGeometry)
+{
+    const CacheConfig c = CacheConfig::btb(4096, 4);
+    EXPECT_EQ(c.numEntries(), 4096u);
+    EXPECT_EQ(c.numSets(), 1024u);
+}
+
+TEST(CacheConfig, Describe)
+{
+    EXPECT_EQ(CacheConfig::icache(64, 8).describe(), "64KB 8-way 64B");
+    EXPECT_EQ(CacheConfig::btb(4096, 4).describe(), "4096-entry 4-way");
+}
+
+TEST(CacheConfig, SmallConfigsFromFig7)
+{
+    for (std::uint32_t kb : {8u, 16u, 32u, 64u}) {
+        for (std::uint32_t assoc : {4u, 8u}) {
+            const CacheConfig c = CacheConfig::icache(kb, assoc);
+            EXPECT_EQ(c.numSets() * assoc * 64, kb * 1024);
+        }
+    }
+}
+
+} // anonymous namespace

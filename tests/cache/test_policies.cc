@@ -1,0 +1,173 @@
+/** @file Unit tests for the baseline replacement policies. */
+
+#include <gtest/gtest.h>
+
+#include "cache/basic_policies.hh"
+#include "cache/cache.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::cache;
+
+AccessInfo
+info(std::uint32_t set, std::uint64_t tick = 0)
+{
+    AccessInfo i;
+    i.set = set;
+    i.tick = tick;
+    return i;
+}
+
+TEST(LruPolicy, EvictsLeastRecent)
+{
+    LruPolicy p;
+    p.reset(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w)
+        p.onFill(info(0), w);
+    // Fill order 0,1,2,3 -> LRU is 0.
+    EXPECT_EQ(p.chooseVictim(info(0)), 0u);
+    p.onHit(info(0), 0);
+    EXPECT_EQ(p.chooseVictim(info(0)), 1u);
+}
+
+TEST(RandomPolicy, VictimInRange)
+{
+    RandomPolicy p(123);
+    p.reset(4, 8);
+    for (int i = 0; i < 200; ++i)
+        EXPECT_LT(p.chooseVictim(info(i % 4)), 8u);
+}
+
+TEST(RandomPolicy, CoversAllWaysEventually)
+{
+    RandomPolicy p(7);
+    p.reset(1, 4);
+    bool seen[4] = {};
+    for (int i = 0; i < 200; ++i)
+        seen[p.chooseVictim(info(0))] = true;
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2] && seen[3]);
+}
+
+TEST(FifoPolicy, EvictsInFillOrderIgnoringHits)
+{
+    FifoPolicy p;
+    p.reset(1, 3);
+    p.onFill(info(0), 0);
+    p.onFill(info(0), 1);
+    p.onFill(info(0), 2);
+    p.onHit(info(0), 0);  // hits do not refresh FIFO order
+    EXPECT_EQ(p.chooseVictim(info(0)), 0u);
+    p.onFill(info(0), 0);  // replaced slot 0
+    EXPECT_EQ(p.chooseVictim(info(0)), 1u);
+}
+
+TEST(SrripPolicy, InsertsAtLongNotDistant)
+{
+    SrripPolicy p(2);
+    p.reset(1, 2);
+    p.onFill(info(0), 0);
+    // Way 1 never filled: stays at distant (3) and is the victim.
+    EXPECT_EQ(p.chooseVictim(info(0)), 1u);
+}
+
+TEST(SrripPolicy, HitPromotesToNearImmediate)
+{
+    SrripPolicy p(2);
+    p.reset(1, 2);
+    p.onFill(info(0), 0);
+    p.onFill(info(0), 1);
+    p.onHit(info(0), 0);
+    // Both at RRPV 2 after fills; hit sets way 0 to 0. Victim search
+    // ages until way 1 reaches 3 first.
+    EXPECT_EQ(p.chooseVictim(info(0)), 1u);
+}
+
+TEST(SrripPolicy, AgingTerminates)
+{
+    SrripPolicy p(2);
+    p.reset(1, 4);
+    for (std::uint32_t w = 0; w < 4; ++w) {
+        p.onFill(info(0), w);
+        p.onHit(info(0), w);
+    }
+    // All at RRPV 0: chooseVictim must age and return way 0.
+    EXPECT_EQ(p.chooseVictim(info(0)), 0u);
+}
+
+TEST(BrripPolicy, MostInsertionsDistant)
+{
+    BrripPolicy p(2, 1.0 / 32, 5);
+    p.reset(1, 8);
+    // Fill way 0 many times; with prob 31/32 insertion RRPV is max.
+    // Immediately after a distant insertion, way 0 is a victim
+    // candidate without aging. Count how often.
+    int distant = 0;
+    for (int i = 0; i < 320; ++i) {
+        p.onFill(info(0), 0);
+        if (p.chooseVictim(info(0)) == 0u)
+            ++distant;
+        // Reset other ways to distant for a clean next round.
+        p.reset(1, 8);
+    }
+    EXPECT_GT(distant, 250);
+}
+
+TEST(DrripPolicy, BehavesAndStaysInRange)
+{
+    DrripPolicy p(2, 4, 11);
+    p.reset(64, 4);
+    for (int i = 0; i < 1000; ++i) {
+        const auto set = static_cast<std::uint32_t>(i % 64);
+        p.shouldBypass(info(set));  // scores the duel
+        p.onFill(info(set), static_cast<std::uint32_t>(i % 4));
+        EXPECT_LT(p.chooseVictim(info(set)), 4u);
+    }
+}
+
+TEST(Policies, NamesAreDistinct)
+{
+    LruPolicy lru;
+    RandomPolicy rnd;
+    FifoPolicy fifo;
+    SrripPolicy srrip;
+    BrripPolicy brrip;
+    DrripPolicy drrip;
+    const std::string names[] = {lru.name(),   rnd.name(),
+                                 fifo.name(),  srrip.name(),
+                                 brrip.name(), drrip.name()};
+    for (std::size_t a = 0; a < std::size(names); ++a)
+        for (std::size_t b = a + 1; b < std::size(names); ++b)
+            EXPECT_NE(names[a], names[b]);
+}
+
+/**
+ * Behavioural property: under a cyclic working set one block larger
+ * than the set (the classic LRU-adversarial loop), the bimodal
+ * insertion of BRRIP keeps part of the set resident while LRU misses
+ * every single access. (SRRIP alone also thrashes here; thrash
+ * resistance is the B in BRRIP.)
+ */
+TEST(Policies, BrripBeatsLruOnCyclicThrash)
+{
+    const CacheConfig cfg = CacheConfig::icache(1, 4);  // 4 sets x 4
+    CacheModel<> lru(cfg, std::make_unique<LruPolicy>());
+    CacheModel<> brrip(cfg, std::make_unique<BrripPolicy>());
+
+    // 5 blocks mapping to set 0 (stride 4 blocks * 64B = 256B).
+    const int blocks = 5;
+    for (int round = 0; round < 400; ++round) {
+        for (int b = 0; b < blocks; ++b) {
+            const Addr addr = static_cast<Addr>(b) * 256;
+            lru.access(addr, addr);
+            brrip.access(addr, addr);
+        }
+    }
+    EXPECT_GT(brrip.accessStats().hitRate(),
+              lru.accessStats().hitRate());
+    // LRU gets exactly zero hits on this pattern.
+    EXPECT_EQ(lru.accessStats().hits, 0u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,48 @@
+/** @file Unit tests for prefetch-aware cache fills. */
+
+#include <gtest/gtest.h>
+
+#include "cache/basic_policies.hh"
+#include "cache/cache.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::cache;
+
+TEST(Prefetch, FillsWithoutDemandStats)
+{
+    CacheModel<> c(CacheConfig::icache(1, 2),
+                   std::make_unique<LruPolicy>());
+    EXPECT_TRUE(c.prefetch(0x1000, 0x1000));
+    EXPECT_EQ(c.accessStats().accesses, 0u);
+    EXPECT_EQ(c.accessStats().misses, 0u);
+    EXPECT_EQ(c.prefetchFills(), 1u);
+    // The prefetched block then hits on demand.
+    EXPECT_TRUE(c.access(0x1000, 0x1000).hit);
+}
+
+TEST(Prefetch, NoDuplicateFill)
+{
+    CacheModel<> c(CacheConfig::icache(1, 2),
+                   std::make_unique<LruPolicy>());
+    c.access(0x1000, 0x1000);
+    EXPECT_FALSE(c.prefetch(0x1000, 0x1000));
+    EXPECT_EQ(c.prefetchFills(), 0u);
+}
+
+TEST(Prefetch, EvictsThroughPolicy)
+{
+    CacheModel<> c(CacheConfig::icache(1, 2),
+                   std::make_unique<LruPolicy>());
+    // Fill set 0 completely (stride 8 blocks), then prefetch into it.
+    c.access(0x0000, 0);
+    c.access(0x0200, 0);
+    EXPECT_TRUE(c.prefetch(0x0400, 0));
+    EXPECT_EQ(c.accessStats().evictions, 1u);
+    // LRU victim was 0x0000.
+    EXPECT_FALSE(c.probe(0x0000).has_value());
+}
+
+} // anonymous namespace

@@ -1,0 +1,71 @@
+/** @file Unit tests for command-line option parsing. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cli.hh"
+
+namespace
+{
+
+using ghrp::core::CliOptions;
+
+CliOptions
+parse(std::vector<const char *> args)
+{
+    args.insert(args.begin(), "prog");
+    return CliOptions(static_cast<int>(args.size()),
+                      const_cast<char **>(args.data()));
+}
+
+TEST(Cli, DefaultsWhenAbsent)
+{
+    const CliOptions cli = parse({});
+    EXPECT_EQ(cli.getUint("traces", 7), 7u);
+    EXPECT_EQ(cli.getString("name", "x"), "x");
+    EXPECT_DOUBLE_EQ(cli.getDouble("f", 1.5), 1.5);
+    EXPECT_FALSE(cli.has("quiet"));
+}
+
+TEST(Cli, SpaceSeparatedValues)
+{
+    const CliOptions cli = parse({"--traces", "12", "--name", "hello"});
+    EXPECT_EQ(cli.getUint("traces", 0), 12u);
+    EXPECT_EQ(cli.getString("name", ""), "hello");
+}
+
+TEST(Cli, EqualsSeparatedValues)
+{
+    const CliOptions cli = parse({"--traces=42", "--f=2.5"});
+    EXPECT_EQ(cli.getUint("traces", 0), 42u);
+    EXPECT_DOUBLE_EQ(cli.getDouble("f", 0), 2.5);
+}
+
+TEST(Cli, BareBooleanFlags)
+{
+    const CliOptions cli = parse({"--quiet", "--traces", "3"});
+    EXPECT_TRUE(cli.has("quiet"));
+    EXPECT_EQ(cli.getUint("traces", 0), 3u);
+}
+
+TEST(Cli, TrailingBooleanFlag)
+{
+    const CliOptions cli = parse({"--traces", "3", "--verbose"});
+    EXPECT_TRUE(cli.has("verbose"));
+}
+
+TEST(CliDeathTest, NonFlagArgumentFatal)
+{
+    EXPECT_EXIT(parse({"positional"}), ::testing::ExitedWithCode(1),
+                "unexpected argument");
+}
+
+TEST(CliDeathTest, BooleanUsedAsValueFatal)
+{
+    const CliOptions cli = parse({"--quiet"});
+    EXPECT_EXIT(cli.getUint("quiet", 1), ::testing::ExitedWithCode(1),
+                "requires a value");
+}
+
+} // anonymous namespace

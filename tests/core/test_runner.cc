@@ -1,0 +1,121 @@
+/** @file Unit tests for suite-result aggregation and the runner. */
+
+#include <gtest/gtest.h>
+
+#include "core/runner.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using core::SuiteOptions;
+using core::SuiteResults;
+
+TEST(Aggregates, Mean)
+{
+    EXPECT_EQ(SuiteResults::mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(SuiteResults::mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Aggregates, SubsetMean)
+{
+    const std::vector<double> series{10.0, 20.0, 30.0};
+    const std::vector<double> base{0.5, 2.0, 3.0};
+    const auto [m, n] = SuiteResults::subsetMean(series, base, 1.0);
+    EXPECT_EQ(n, 2u);
+    EXPECT_DOUBLE_EQ(m, 25.0);
+}
+
+TEST(Aggregates, SubsetMeanEmptySubset)
+{
+    const auto [m, n] =
+        SuiteResults::subsetMean({1.0}, {0.1}, 1.0);
+    EXPECT_EQ(n, 0u);
+    EXPECT_EQ(m, 0.0);
+}
+
+TEST(Aggregates, RelativeDifference)
+{
+    const std::vector<double> rel = SuiteResults::relativeDifference(
+        {0.9, 2.2, 5.0}, {1.0, 2.0, 0.001});
+    // The near-zero baseline entry is skipped.
+    ASSERT_EQ(rel.size(), 2u);
+    EXPECT_NEAR(rel[0], -0.1, 1e-12);
+    EXPECT_NEAR(rel[1], 0.1, 1e-12);
+}
+
+TEST(Aggregates, WinLoss)
+{
+    const std::vector<double> base{1.0, 1.0, 1.0, 1.0};
+    const std::vector<double> series{0.5, 1.0, 1.5, 1.01};
+    const SuiteResults::WinLoss wl =
+        SuiteResults::winLoss(series, base, 0.02, 0.005);
+    EXPECT_EQ(wl.better, 1u);
+    EXPECT_EQ(wl.worse, 1u);
+    EXPECT_EQ(wl.similar, 2u);
+}
+
+TEST(Aggregates, WinLossEpsilonForTinyBaselines)
+{
+    // Absolute epsilon keeps near-zero MPKI noise in "similar".
+    const SuiteResults::WinLoss wl =
+        SuiteResults::winLoss({0.004}, {0.001}, 0.02, 0.005);
+    EXPECT_EQ(wl.similar, 1u);
+}
+
+TEST(Runner, TinySuiteRuns)
+{
+    SuiteOptions options;
+    options.numTraces = 2;
+    options.instructionOverride = 150'000;
+    options.policies = {frontend::PolicyKind::Lru,
+                        frontend::PolicyKind::Ghrp};
+
+    const SuiteResults results = core::runSuite(options);
+    ASSERT_EQ(results.specs.size(), 2u);
+    ASSERT_EQ(results.results.size(), 2u);
+    for (const auto &[policy, runs] : results.results) {
+        ASSERT_EQ(runs.size(), 2u);
+        for (const auto &r : runs)
+            EXPECT_GT(r.icache.accesses, 0u);
+    }
+    EXPECT_EQ(results.icacheMpki(frontend::PolicyKind::Lru).size(), 2u);
+    EXPECT_EQ(results.btbMpki(frontend::PolicyKind::Ghrp).size(), 2u);
+}
+
+TEST(Runner, ProgressCallbackInvoked)
+{
+    SuiteOptions options;
+    options.numTraces = 1;
+    options.instructionOverride = 100'000;
+    options.policies = {frontend::PolicyKind::Lru};
+    std::size_t calls = 0, last_total = 0;
+    core::runSuite(options,
+                   [&](std::size_t done, std::size_t total,
+                       const std::string &) {
+                       ++calls;
+                       last_total = total;
+                       EXPECT_LE(done, total);
+                   });
+    EXPECT_EQ(calls, 1u);
+    EXPECT_EQ(last_total, 1u);
+}
+
+TEST(Runner, PairedTracesAcrossPolicies)
+{
+    // The same generated trace must be used for every policy: LRU run
+    // twice in one suite must give identical MPKI.
+    SuiteOptions options;
+    options.numTraces = 1;
+    options.instructionOverride = 100'000;
+    options.policies = {frontend::PolicyKind::Lru,
+                        frontend::PolicyKind::Lru};
+    // (Map keying dedupes policies; instead compare across suites.)
+    options.policies = {frontend::PolicyKind::Lru};
+    const auto a = core::runSuite(options);
+    const auto b = core::runSuite(options);
+    EXPECT_EQ(a.results.at(frontend::PolicyKind::Lru)[0].icache.misses,
+              b.results.at(frontend::PolicyKind::Lru)[0].icache.misses);
+}
+
+} // anonymous namespace

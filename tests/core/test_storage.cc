@@ -1,0 +1,65 @@
+/** @file Unit tests for the Table I storage model. */
+
+#include <gtest/gtest.h>
+
+#include "core/storage.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::core;
+
+TEST(Storage, GhrpBudgetComponents)
+{
+    predictor::GhrpConfig cfg;
+    cfg.tableEntries = 4096;
+    cfg.counterBits = 2;
+    cfg.historyBits = 16;
+    const cache::CacheConfig icache = cache::CacheConfig::icache(64, 8);
+    const StorageBudget b = ghrpStorage(icache, cfg, 0);
+
+    // 1024 blocks x (1+1+3+16) bits + 3*4096*2 + 32.
+    EXPECT_EQ(b.totalBits(), 1024ull * 21 + 24576 + 32);
+    EXPECT_EQ(b.items.size(), 3u);
+}
+
+TEST(Storage, GhrpBtbBitsAdded)
+{
+    predictor::GhrpConfig cfg;
+    const cache::CacheConfig icache = cache::CacheConfig::icache(64, 8);
+    const StorageBudget without = ghrpStorage(icache, cfg, 0);
+    const StorageBudget with = ghrpStorage(icache, cfg, 4096);
+    EXPECT_EQ(with.totalBits(), without.totalBits() + 4096);
+}
+
+TEST(Storage, PaperExampleOrderOfMagnitude)
+{
+    // Paper Section III-B: ~5KB overhead, ~8% of a 64KB I-cache with
+    // 128B blocks (2-bit counters as in the paper).
+    predictor::GhrpConfig cfg;
+    cfg.counterBits = 2;
+    const cache::CacheConfig exynos =
+        cache::CacheConfig::icache(64, 8, 128);
+    const StorageBudget b = ghrpStorage(exynos, cfg, 0);
+    EXPECT_GT(b.totalKiB(), 3.0);
+    EXPECT_LT(b.totalKiB(), 7.0);
+    EXPECT_NEAR(b.overheadFraction(exynos.sizeBytes), 0.07, 0.03);
+}
+
+TEST(Storage, SdbpLargerThanGhrp)
+{
+    predictor::GhrpConfig gcfg;
+    predictor::SdbpConfig scfg;
+    const cache::CacheConfig icache = cache::CacheConfig::icache(64, 8);
+    EXPECT_GT(sdbpStorage(icache, scfg).totalBits(),
+              ghrpStorage(icache, gcfg, 4096).totalBits());
+}
+
+TEST(Storage, KibConversion)
+{
+    StorageItem item{"x", 8192};
+    EXPECT_DOUBLE_EQ(item.kib(), 1.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,150 @@
+/** @file Config-variant tests for the front-end simulator. */
+
+#include <gtest/gtest.h>
+
+#include "frontend/frontend.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::frontend;
+
+const trace::Trace &
+sharedTrace()
+{
+    static const trace::Trace tr = [] {
+        workload::TraceSpec spec;
+        spec.category = workload::Category::ShortServer;
+        spec.seed = 31;
+        spec.name = "cfg";
+        return workload::buildTrace(spec, 400'000);
+    }();
+    return tr;
+}
+
+TEST(FrontendConfigs, BtbAssociativitySweep)
+{
+    for (std::uint32_t assoc : {1u, 2u, 4u, 8u}) {
+        FrontendConfig cfg;
+        cfg.btb = cache::CacheConfig::btb(1024, assoc);
+        const FrontendResult r = simulateTrace(cfg, sharedTrace());
+        EXPECT_GT(r.btb.accesses, 0u) << assoc;
+    }
+}
+
+TEST(FrontendConfigs, SmallerBtbMissesMore)
+{
+    FrontendConfig big;
+    big.btb = cache::CacheConfig::btb(4096, 4);
+    FrontendConfig small;
+    small.btb = cache::CacheConfig::btb(256, 4);
+    EXPECT_GE(simulateTrace(small, sharedTrace()).btbMpki,
+              simulateTrace(big, sharedTrace()).btbMpki);
+}
+
+TEST(FrontendConfigs, BlockSizeAffectsAccessCount)
+{
+    FrontendConfig b64;
+    FrontendConfig b128;
+    b128.icache = cache::CacheConfig::icache(64, 8, 128);
+    const FrontendResult r64 = simulateTrace(b64, sharedTrace());
+    const FrontendResult r128 = simulateTrace(b128, sharedTrace());
+    // Bigger blocks -> fewer block transitions -> fewer accesses.
+    EXPECT_LT(r128.icache.accesses, r64.icache.accesses);
+}
+
+TEST(FrontendConfigs, GhrpOnTinyCache)
+{
+    FrontendConfig cfg;
+    cfg.policy = PolicyKind::Ghrp;
+    cfg.icache = cache::CacheConfig::icache(8, 4);
+    cfg.btb = cache::CacheConfig::btb(256, 4);
+    const FrontendResult r = simulateTrace(cfg, sharedTrace());
+    EXPECT_GT(r.icacheMpki, 0.0);
+}
+
+TEST(FrontendConfigs, GshareSelectable)
+{
+    FrontendConfig cfg;
+    cfg.direction = DirectionKind::Gshare;
+    const FrontendResult r = simulateTrace(cfg, sharedTrace());
+    EXPECT_GT(r.condBranches, 0u);
+    EXPECT_LT(r.mispredictRate(), 0.5);
+}
+
+TEST(FrontendConfigs, MeasuredPlusWarmupEqualsTotal)
+{
+    FrontendConfig cfg;
+    cfg.warmupFraction = 0.25;
+    const FrontendResult r = simulateTrace(cfg, sharedTrace());
+    EXPECT_EQ(r.warmupInstructions + r.measuredInstructions,
+              r.totalInstructions);
+}
+
+TEST(FrontendConfigs, PaperPoliciesListIsFive)
+{
+    EXPECT_EQ(std::size(paperPolicies), 5u);
+    EXPECT_EQ(paperPolicies[0], PolicyKind::Lru);
+    EXPECT_EQ(paperPolicies[4], PolicyKind::Ghrp);
+}
+
+} // anonymous namespace
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::frontend;
+
+TEST(FrontendIndirect, CountsIndirectBranches)
+{
+    trace::Trace tr;
+    tr.entryPc = 0x1000;
+    for (int i = 0; i < 100; ++i) {
+        tr.records.push_back({0x1010,
+                              i % 2 ? Addr{0x2000} : Addr{0x3000},
+                              trace::BranchType::UncondIndirect, true});
+        tr.records.push_back({i % 2 ? Addr{0x2010} : Addr{0x3010},
+                              0x1000, trace::BranchType::UncondDirect,
+                              true});
+    }
+    FrontendConfig cfg;
+    cfg.warmupFraction = 0.0;
+    const FrontendResult r = simulateTrace(cfg, tr);
+    EXPECT_EQ(r.indirectBranches, 100u);
+    // Alternating targets: BTB last-seen target is almost always wrong.
+    EXPECT_GT(r.indirectMispredicts, 90u);
+}
+
+TEST(FrontendIndirect, PredictorRecoversAlternation)
+{
+    trace::Trace tr;
+    tr.entryPc = 0x1000;
+    for (int i = 0; i < 1000; ++i) {
+        tr.records.push_back({0x1010,
+                              i % 2 ? Addr{0x2000} : Addr{0x3000},
+                              trace::BranchType::UncondIndirect, true});
+        tr.records.push_back({i % 2 ? Addr{0x2010} : Addr{0x3010},
+                              0x1000, trace::BranchType::UncondDirect,
+                              true});
+    }
+    FrontendConfig base;
+    base.warmupFraction = 0.0;
+    FrontendConfig with = base;
+    with.useIndirectPredictor = true;
+    const FrontendResult rb = simulateTrace(base, tr);
+    const FrontendResult rw = simulateTrace(with, tr);
+    EXPECT_LT(rw.indirectMispredicts, rb.indirectMispredicts / 2);
+}
+
+TEST(FrontendIndirect, MpkiHelper)
+{
+    FrontendResult r;
+    r.indirectMispredicts = 4;
+    r.measuredInstructions = 2000;
+    EXPECT_DOUBLE_EQ(r.indirectMpki(), 2.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Integration tests: whole-pipeline runs spanning the workload
+ * generator, trace I/O, front-end simulation, and result aggregation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/runner.hh"
+#include "trace/trace_io.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+TEST(EndToEnd, TraceSurvivesDiskRoundTripIdentically)
+{
+    workload::TraceSpec spec;
+    spec.category = workload::Category::ShortServer;
+    spec.seed = 6;
+    spec.name = "rt";
+    const trace::Trace original = workload::buildTrace(spec, 200'000);
+
+    const std::string path = ::testing::TempDir() + "/rt.ghrptrc";
+    trace::writeTrace(original, path);
+    const trace::Trace loaded = trace::readTrace(path);
+    std::remove(path.c_str());
+
+    // Simulating the original and the reloaded trace must agree bit
+    // for bit in every statistic.
+    frontend::FrontendConfig cfg;
+    cfg.policy = frontend::PolicyKind::Ghrp;
+    const frontend::FrontendResult a = frontend::simulateTrace(cfg, original);
+    const frontend::FrontendResult b = frontend::simulateTrace(cfg, loaded);
+    EXPECT_EQ(a.icache.misses, b.icache.misses);
+    EXPECT_EQ(a.btb.misses, b.btb.misses);
+    EXPECT_EQ(a.condMispredicts, b.condMispredicts);
+}
+
+TEST(EndToEnd, PolicyOrderingOnServerTrace)
+{
+    // On a server-style trace with warmed caches, Random must be the
+    // worst policy and GHRP must not be meaningfully worse than LRU.
+    workload::TraceSpec spec;
+    spec.category = workload::Category::LongServer;
+    spec.seed = 49;
+    spec.name = "ord";
+    const trace::Trace tr = workload::buildTrace(spec, 8'000'000);
+
+    frontend::FrontendConfig cfg;
+    cfg.policy = frontend::PolicyKind::Lru;
+    const frontend::FrontendResult lru = frontend::simulateTrace(cfg, tr);
+    cfg.policy = frontend::PolicyKind::Random;
+    const frontend::FrontendResult rnd = frontend::simulateTrace(cfg, tr);
+    cfg.policy = frontend::PolicyKind::Ghrp;
+    const frontend::FrontendResult ghrp = frontend::simulateTrace(cfg, tr);
+
+    // GHRP must clearly beat LRU on this thrash-prone trace, and
+    // Random must be the worst policy on the BTB.
+    EXPECT_LT(ghrp.icacheMpki, lru.icacheMpki * 0.99);
+    EXPECT_GT(rnd.btbMpki, lru.btbMpki);
+    EXPECT_LE(ghrp.btbMpki, lru.btbMpki * 1.05);
+}
+
+TEST(EndToEnd, SmallSuiteAggregation)
+{
+    core::SuiteOptions options;
+    options.numTraces = 4;
+    options.instructionOverride = 250'000;
+    options.policies = {frontend::PolicyKind::Lru,
+                        frontend::PolicyKind::Random,
+                        frontend::PolicyKind::Ghrp};
+    const core::SuiteResults results = core::runSuite(options);
+
+    const auto lru = results.icacheMpki(frontend::PolicyKind::Lru);
+    const auto rnd = results.icacheMpki(frontend::PolicyKind::Random);
+    ASSERT_EQ(lru.size(), 4u);
+    // Random must lose to LRU on average even on short runs.
+    EXPECT_GT(core::SuiteResults::mean(rnd),
+              core::SuiteResults::mean(lru) * 0.95);
+    // Win/loss machinery consumes the series without issue.
+    const auto wl = core::SuiteResults::winLoss(rnd, lru);
+    EXPECT_EQ(wl.better + wl.similar + wl.worse, 4u);
+}
+
+TEST(EndToEnd, BtbAndIcacheConfigsComposable)
+{
+    workload::TraceSpec spec;
+    spec.category = workload::Category::LongMobile;
+    spec.seed = 9;
+    spec.name = "cfg";
+    const trace::Trace tr = workload::buildTrace(spec, 300'000);
+
+    for (std::uint32_t kb : {8u, 32u}) {
+        for (std::uint32_t assoc : {4u, 8u}) {
+            frontend::FrontendConfig cfg;
+            cfg.policy = frontend::PolicyKind::Ghrp;
+            cfg.icache = cache::CacheConfig::icache(kb, assoc);
+            cfg.btb = cache::CacheConfig::btb(1024, assoc);
+            const frontend::FrontendResult r =
+                frontend::simulateTrace(cfg, tr);
+            EXPECT_GT(r.icache.accesses, 0u);
+        }
+    }
+}
+
+TEST(EndToEnd, SmallerCachesMissMore)
+{
+    workload::TraceSpec spec;
+    spec.category = workload::Category::ShortServer;
+    spec.seed = 10;
+    spec.name = "sz";
+    const trace::Trace tr = workload::buildTrace(spec, 1'000'000);
+
+    double prev = -1.0;
+    for (std::uint32_t kb : {64u, 16u, 8u}) {
+        frontend::FrontendConfig cfg;
+        cfg.icache = cache::CacheConfig::icache(kb, 8);
+        const double mpki = frontend::simulateTrace(cfg, tr).icacheMpki;
+        if (prev >= 0) {
+            EXPECT_GE(mpki, prev * 0.9);
+        }
+        prev = mpki;
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,101 @@
+/** @file Unit tests for the skewed prediction-table bank. */
+
+#include <gtest/gtest.h>
+
+#include "predictor/pred_tables.hh"
+
+namespace
+{
+
+using namespace ghrp::predictor;
+
+TEST(PredTables, IndicesDeterministicAndInRange)
+{
+    PredictionTables bank(4096, 2);
+    const TableIndices a = bank.computeIndices(0x1234);
+    const TableIndices b = bank.computeIndices(0x1234);
+    for (unsigned t = 0; t < numPredTables; ++t) {
+        EXPECT_EQ(a[t], b[t]);
+        EXPECT_LT(a[t], 4096u);
+    }
+}
+
+TEST(PredTables, TablesAreSkewed)
+{
+    // Two signatures that collide in one table should rarely collide
+    // in the others; check the three hashes differ for typical inputs.
+    PredictionTables bank(4096, 2);
+    int all_same = 0;
+    for (std::uint32_t sig = 0; sig < 1024; ++sig) {
+        const TableIndices idx = bank.computeIndices(sig);
+        if (idx[0] == idx[1] && idx[1] == idx[2])
+            ++all_same;
+    }
+    EXPECT_LT(all_same, 3);
+}
+
+TEST(PredTables, TrainSaturates)
+{
+    PredictionTables bank(256, 2);
+    const TableIndices idx = bank.computeIndices(7);
+    for (int i = 0; i < 10; ++i)
+        bank.train(idx, true);
+    for (std::uint8_t counter : bank.readCounters(idx))
+        EXPECT_EQ(counter, 3u);
+    for (int i = 0; i < 20; ++i)
+        bank.train(idx, false);
+    for (std::uint8_t counter : bank.readCounters(idx))
+        EXPECT_EQ(counter, 0u);
+}
+
+TEST(PredTables, MajorityVote)
+{
+    PredictionTables bank(256, 2);
+    const TableIndices idx = bank.computeIndices(42);
+    EXPECT_FALSE(bank.majorityVote(idx, 1));
+    bank.train(idx, true);  // all three counters -> 1
+    EXPECT_TRUE(bank.majorityVote(idx, 1));
+    EXPECT_FALSE(bank.majorityVote(idx, 2));
+}
+
+TEST(PredTables, MajorityNeedsTwoOfThree)
+{
+    PredictionTables bank(256, 2);
+    const TableIndices idx = bank.computeIndices(42);
+    bank.train(idx, true);
+    bank.train(idx, true);
+    // Manually knock one counter down via an aliasing signature would
+    // be fragile; instead verify the boundary with thresholds.
+    EXPECT_TRUE(bank.majorityVote(idx, 2));
+    EXPECT_FALSE(bank.majorityVote(idx, 3));
+}
+
+TEST(PredTables, SumVote)
+{
+    PredictionTables bank(256, 8);
+    const TableIndices idx = bank.computeIndices(9);
+    for (int i = 0; i < 5; ++i)
+        bank.train(idx, true);
+    // Sum = 15.
+    EXPECT_TRUE(bank.sumVote(idx, 15));
+    EXPECT_FALSE(bank.sumVote(idx, 16));
+}
+
+TEST(PredTables, ClearZeroes)
+{
+    PredictionTables bank(256, 2);
+    const TableIndices idx = bank.computeIndices(1);
+    bank.train(idx, true);
+    bank.clear();
+    EXPECT_FALSE(bank.majorityVote(idx, 1));
+}
+
+TEST(PredTables, StorageBits)
+{
+    PredictionTables bank2(4096, 2);
+    EXPECT_EQ(bank2.storageBits(), 3ull * 4096 * 2);
+    PredictionTables bank8(4096, 8);
+    EXPECT_EQ(bank8.storageBits(), 3ull * 4096 * 8);
+}
+
+} // anonymous namespace

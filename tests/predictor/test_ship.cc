@@ -1,0 +1,87 @@
+/** @file Unit tests for the adapted SHiP policy. */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "frontend/frontend.hh"
+#include "predictor/ship.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::predictor;
+
+TEST(Ship, SignatureBlockGranular)
+{
+    ShipReplacement p;
+    p.reset(4, 2);
+    EXPECT_EQ(p.signatureOf(0x400000), p.signatureOf(0x40003C));
+    EXPECT_NE(p.signatureOf(0x400000), p.signatureOf(0x400040));
+}
+
+TEST(Ship, ShctLearnsHitters)
+{
+    auto policy = std::make_unique<ShipReplacement>();
+    ShipReplacement *p = policy.get();
+    cache::CacheModel<> c(cache::CacheConfig::icache(1, 2),
+                          std::move(policy));
+    const Addr hot = 0x700000;
+    const std::uint32_t before = p->shctOf(p->signatureOf(hot));
+    c.access(hot, hot);
+    c.access(hot, hot);  // hit -> SHCT increment
+    EXPECT_GT(p->shctOf(p->signatureOf(hot)), before);
+}
+
+TEST(Ship, ShctLearnsNonHitters)
+{
+    auto policy = std::make_unique<ShipReplacement>();
+    ShipReplacement *p = policy.get();
+    cache::CacheModel<> c(cache::CacheConfig::icache(1, 2),
+                          std::move(policy));
+    // Stream distinct blocks through set 0 (stride = 8 blocks): the
+    // one-shot signatures drop to zero.
+    const Addr dead = 0x10000;
+    const std::uint32_t sig = p->signatureOf(dead);
+    for (int round = 0; round < 4; ++round)
+        for (int b = 0; b < 3; ++b)
+            c.access(dead + static_cast<Addr>(b) * 512,
+                     dead + static_cast<Addr>(b) * 512);
+    EXPECT_EQ(p->shctOf(sig), 0u);
+}
+
+TEST(Ship, OutcomeBitIncrementsOncePerGeneration)
+{
+    auto policy = std::make_unique<ShipReplacement>();
+    ShipReplacement *p = policy.get();
+    cache::CacheModel<> c(cache::CacheConfig::icache(1, 2),
+                          std::move(policy));
+    const Addr hot = 0x700000;
+    c.access(hot, hot);
+    for (int i = 0; i < 20; ++i)
+        c.access(hot, hot);
+    // 3-bit SHCT saturates at 7; started at 1, one generation adds 1.
+    EXPECT_EQ(p->shctOf(p->signatureOf(hot)), 2u);
+}
+
+TEST(Ship, RunsThroughFrontend)
+{
+    trace::Trace tr;
+    tr.entryPc = 0x1000;
+    for (int i = 0; i < 500; ++i)
+        tr.records.push_back({0x1100, 0x1000,
+                              trace::BranchType::CondDirect, true});
+    frontend::FrontendConfig cfg;
+    cfg.policy = frontend::PolicyKind::Ship;
+    cfg.warmupFraction = 0.0;
+    const frontend::FrontendResult r = frontend::simulateTrace(cfg, tr);
+    EXPECT_EQ(r.policy, "SHiP");
+    EXPECT_GT(r.icache.accesses, 0u);
+}
+
+TEST(Ship, ParseName)
+{
+    EXPECT_EQ(frontend::parsePolicy("ship"), frontend::PolicyKind::Ship);
+}
+
+} // anonymous namespace

@@ -1,0 +1,83 @@
+/** @file Unit tests for t-quantiles, confidence intervals, quantiles. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/confidence.hh"
+
+namespace
+{
+
+using namespace ghrp::stats;
+
+TEST(TQuantile, MatchesTablesAt95)
+{
+    // Exact small-dof values.
+    EXPECT_NEAR(tQuantile(1, 0.95), 12.706, 1e-3);
+    EXPECT_NEAR(tQuantile(5, 0.95), 2.571, 1e-3);
+    EXPECT_NEAR(tQuantile(10, 0.95), 2.228, 1e-3);
+    // Larger dof via the expansion (reference values from tables).
+    EXPECT_NEAR(tQuantile(30, 0.95), 2.042, 0.01);
+    EXPECT_NEAR(tQuantile(100, 0.95), 1.984, 0.01);
+    EXPECT_NEAR(tQuantile(1000, 0.95), 1.962, 0.01);
+}
+
+TEST(TQuantile, OtherConfidenceLevels)
+{
+    EXPECT_NEAR(tQuantile(30, 0.90), 1.697, 0.02);
+    EXPECT_NEAR(tQuantile(30, 0.99), 2.750, 0.03);
+}
+
+TEST(TQuantile, DecreasesWithDof)
+{
+    EXPECT_GT(tQuantile(2, 0.95), tQuantile(5, 0.95));
+    EXPECT_GT(tQuantile(5, 0.95), tQuantile(50, 0.95));
+}
+
+TEST(MeanConfidence, EmptyAndSingle)
+{
+    EXPECT_EQ(meanConfidence({}).mean, 0.0);
+    const ConfidenceInterval one = meanConfidence({3.0});
+    EXPECT_EQ(one.mean, 3.0);
+    EXPECT_EQ(one.halfWidth, 0.0);
+}
+
+TEST(MeanConfidence, KnownData)
+{
+    // n=4, mean 2.5, sd = sqrt(5/3), se = sd/2, t(3,.95)=3.182.
+    const ConfidenceInterval ci = meanConfidence({1.0, 2.0, 3.0, 4.0});
+    EXPECT_DOUBLE_EQ(ci.mean, 2.5);
+    const double se = std::sqrt(5.0 / 3.0) / 2.0;
+    EXPECT_NEAR(ci.halfWidth, 3.182 * se, 1e-3);
+    EXPECT_LT(ci.lower(), ci.mean);
+    EXPECT_GT(ci.upper(), ci.mean);
+}
+
+TEST(MeanConfidence, TightensWithSamples)
+{
+    std::vector<double> few, many;
+    for (int i = 0; i < 8; ++i)
+        few.push_back(i % 2 ? 1.0 : -1.0);
+    for (int i = 0; i < 800; ++i)
+        many.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_GT(meanConfidence(few).halfWidth,
+              meanConfidence(many).halfWidth);
+}
+
+TEST(Quantile, Endpoints)
+{
+    std::vector<double> v{5.0, 1.0, 3.0};
+    EXPECT_EQ(quantile(v, 0.0), 1.0);
+    EXPECT_EQ(quantile(v, 1.0), 5.0);
+    EXPECT_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, Interpolates)
+{
+    std::vector<double> v{0.0, 10.0};
+    EXPECT_NEAR(quantile(v, 0.25), 2.5, 1e-12);
+    EXPECT_NEAR(quantile(v, 0.75), 7.5, 1e-12);
+}
+
+} // anonymous namespace

@@ -1,0 +1,64 @@
+/** @file Unit tests for the linear-bin histogram. */
+
+#include <gtest/gtest.h>
+
+#include "stats/histogram.hh"
+
+namespace
+{
+
+using ghrp::stats::Histogram;
+
+TEST(Histogram, BinsSamples)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.99);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+}
+
+TEST(Histogram, UnderOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(2.0);
+    h.add(1.0);  // hi bound is exclusive -> overflow
+    EXPECT_EQ(h.underflowCount(), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+}
+
+TEST(Histogram, BinLowEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 18.0);
+}
+
+TEST(Histogram, CumulativeFraction)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(2.5);
+    h.add(3.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(0), 0.25);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(1), 0.5);
+    EXPECT_DOUBLE_EQ(h.cumulativeFraction(3), 1.0);
+}
+
+TEST(Histogram, RenderContainsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    const std::string art = h.render(20);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+} // anonymous namespace

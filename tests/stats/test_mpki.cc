@@ -1,0 +1,44 @@
+/** @file Unit tests for MPKI accounting. */
+
+#include <gtest/gtest.h>
+
+#include "stats/mpki.hh"
+
+namespace
+{
+
+using ghrp::stats::AccessStats;
+
+TEST(AccessStats, RecordsHitsAndMisses)
+{
+    AccessStats s;
+    s.recordHit();
+    s.recordHit();
+    s.recordMiss(false);
+    s.recordMiss(true);
+    EXPECT_EQ(s.accesses, 4u);
+    EXPECT_EQ(s.hits, 2u);
+    EXPECT_EQ(s.misses, 2u);
+    EXPECT_EQ(s.bypasses, 1u);
+}
+
+TEST(AccessStats, HitRate)
+{
+    AccessStats s;
+    EXPECT_EQ(s.hitRate(), 0.0);
+    s.recordHit();
+    s.recordMiss(false);
+    EXPECT_DOUBLE_EQ(s.hitRate(), 0.5);
+}
+
+TEST(AccessStats, Mpki)
+{
+    AccessStats s;
+    for (int i = 0; i < 5; ++i)
+        s.recordMiss(false);
+    EXPECT_DOUBLE_EQ(s.mpki(1000), 5.0);
+    EXPECT_DOUBLE_EQ(s.mpki(10000), 0.5);
+    EXPECT_EQ(s.mpki(0), 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,67 @@
+/** @file Unit tests for the Welford accumulator. */
+
+#include <gtest/gtest.h>
+
+#include "stats/running_stats.hh"
+
+namespace
+{
+
+using ghrp::stats::RunningStats;
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats rs;
+    EXPECT_EQ(rs.count(), 0u);
+    EXPECT_EQ(rs.mean(), 0.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+    EXPECT_EQ(rs.stderror(), 0.0);
+}
+
+TEST(RunningStats, MeanAndSum)
+{
+    RunningStats rs;
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        rs.add(v);
+    EXPECT_EQ(rs.count(), 4u);
+    EXPECT_DOUBLE_EQ(rs.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(rs.sum(), 10.0);
+}
+
+TEST(RunningStats, VarianceMatchesClosedForm)
+{
+    RunningStats rs;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        rs.add(v);
+    // Known data set: sample variance = 32/7.
+    EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(rs.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, MinMax)
+{
+    RunningStats rs;
+    for (double v : {3.0, -1.0, 7.5, 2.0})
+        rs.add(v);
+    EXPECT_EQ(rs.min(), -1.0);
+    EXPECT_EQ(rs.max(), 7.5);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats rs;
+    rs.add(42.0);
+    EXPECT_EQ(rs.mean(), 42.0);
+    EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(RunningStats, ConstantStream)
+{
+    RunningStats rs;
+    for (int i = 0; i < 100; ++i)
+        rs.add(5.0);
+    EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+    EXPECT_NEAR(rs.variance(), 0.0, 1e-12);
+}
+
+} // anonymous namespace

@@ -1,0 +1,102 @@
+/** @file Unit tests for table rendering and S-curve ordering. */
+
+#include <gtest/gtest.h>
+
+#include "stats/table.hh"
+
+namespace
+{
+
+using namespace ghrp::stats;
+
+TEST(TextTable, RendersHeaderAndRows)
+{
+    TextTable t({"a", "bb"});
+    t.addRow({"1", "2"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("a"), std::string::npos);
+    EXPECT_NE(out.find("bb"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("1"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAligned)
+{
+    TextTable t({"name", "v"});
+    t.addRow({"x", "10"});
+    t.addRow({"longername", "3"});
+    const std::string out = t.render();
+    // Column 2 must start at the same offset in both data rows.
+    const auto first_nl = out.find('\n');
+    const auto rule_end = out.find('\n', first_nl + 1);
+    const auto row1 = out.substr(rule_end + 1,
+                                 out.find('\n', rule_end + 1) - rule_end);
+    const auto row2_start = out.find('\n', rule_end + 1) + 1;
+    const auto row2 = out.substr(row2_start,
+                                 out.find('\n', row2_start) - row2_start);
+    EXPECT_EQ(row1.find("10"), row2.find("3"));
+}
+
+TEST(TextTable, NumFormatting)
+{
+    EXPECT_EQ(TextTable::num(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::num(-0.5, 1), "-0.5");
+    EXPECT_EQ(TextTable::num(3.0, 0), "3");
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, CsvFileRoundTrip)
+{
+    TextTable t({"h"});
+    t.addRow({"v"});
+    const std::string path = ::testing::TempDir() + "/t.csv";
+    t.writeCsv(path);
+    FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[16] = {};
+    ASSERT_GT(std::fread(buf, 1, sizeof(buf) - 1, f), 0u);
+    std::fclose(f);
+    EXPECT_STREQ(buf, "h\nv\n");
+    std::remove(path.c_str());
+}
+
+TEST(TextTableDeathTest, RowWidthMismatchPanics)
+{
+    TextTable t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only one"}), "table row");
+}
+
+TEST(SCurve, OrdersByBaseline)
+{
+    const std::vector<double> base{3.0, 1.0, 2.0};
+    const SCurve curve = SCurve::byAscending(base);
+    ASSERT_EQ(curve.order.size(), 3u);
+    EXPECT_EQ(curve.order[0], 1u);
+    EXPECT_EQ(curve.order[1], 2u);
+    EXPECT_EQ(curve.order[2], 0u);
+}
+
+TEST(SCurve, AppliesOrderingToOtherSeries)
+{
+    const std::vector<double> base{3.0, 1.0, 2.0};
+    const SCurve curve = SCurve::byAscending(base);
+    const std::vector<double> other{30.0, 10.0, 20.0};
+    EXPECT_EQ(curve.apply(other), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(SCurve, StableForTies)
+{
+    const std::vector<double> base{1.0, 1.0, 0.5};
+    const SCurve curve = SCurve::byAscending(base);
+    EXPECT_EQ(curve.order[0], 2u);
+    EXPECT_EQ(curve.order[1], 0u);  // stable: original order kept
+    EXPECT_EQ(curve.order[2], 1u);
+}
+
+} // anonymous namespace

@@ -1,0 +1,78 @@
+/** @file Unit tests for branch-record helpers and trace summaries. */
+
+#include <gtest/gtest.h>
+
+#include "trace/branch_record.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::trace;
+
+TEST(BranchType, Classification)
+{
+    EXPECT_TRUE(isConditional(BranchType::CondDirect));
+    EXPECT_TRUE(isConditional(BranchType::CondIndirect));
+    EXPECT_FALSE(isConditional(BranchType::Call));
+    EXPECT_FALSE(isConditional(BranchType::Return));
+
+    EXPECT_TRUE(isIndirect(BranchType::IndirectCall));
+    EXPECT_TRUE(isIndirect(BranchType::UncondIndirect));
+    EXPECT_FALSE(isIndirect(BranchType::UncondDirect));
+
+    EXPECT_TRUE(isCall(BranchType::Call));
+    EXPECT_TRUE(isCall(BranchType::IndirectCall));
+    EXPECT_FALSE(isCall(BranchType::Return));
+}
+
+TEST(BranchType, NamesDistinct)
+{
+    for (unsigned a = 0; a < numBranchTypes; ++a)
+        for (unsigned b = a + 1; b < numBranchTypes; ++b)
+            EXPECT_STRNE(branchTypeName(static_cast<BranchType>(a)),
+                         branchTypeName(static_cast<BranchType>(b)));
+}
+
+TEST(Summarize, CountsRecordsAndTypes)
+{
+    Trace t;
+    t.entryPc = 0x1000;
+    t.records = {
+        {0x1008, 0x2000, BranchType::Call, true},
+        {0x2004, 0x100C, BranchType::Return, true},
+        {0x1010, 0x1000, BranchType::CondDirect, false},
+        {0x1010, 0x1000, BranchType::CondDirect, true},
+    };
+    const TraceSummary s = summarize(t);
+    EXPECT_EQ(s.records, 4u);
+    EXPECT_EQ(s.takenCount, 3u);
+    EXPECT_EQ(s.perType[static_cast<int>(BranchType::Call)], 1u);
+    EXPECT_EQ(s.perType[static_cast<int>(BranchType::CondDirect)], 2u);
+    // 0x1008, 0x2004, 0x1010 -> 3 distinct branch PCs, all taken at
+    // least once.
+    EXPECT_EQ(s.staticBranches, 3u);
+    EXPECT_EQ(s.staticTakenBranches, 3u);
+    EXPECT_DOUBLE_EQ(s.takenFraction(), 0.75);
+    EXPECT_GT(s.instructions, 0u);
+}
+
+TEST(Summarize, CountsDistinctBlocks)
+{
+    Trace t;
+    t.entryPc = 0x1000;
+    // One long run 0x1000..0x10FF touches 4 blocks.
+    t.records = {{0x10FC, 0x1000, BranchType::UncondDirect, true}};
+    const TraceSummary s = summarize(t);
+    EXPECT_EQ(s.staticBlocks64, 4u);
+}
+
+TEST(Summarize, EmptyTrace)
+{
+    Trace t;
+    const TraceSummary s = summarize(t);
+    EXPECT_EQ(s.records, 0u);
+    EXPECT_EQ(s.takenFraction(), 0.0);
+}
+
+} // anonymous namespace

@@ -1,0 +1,44 @@
+/** @file Unit tests for the logging/error facility. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Verbose);
+    EXPECT_EQ(logLevel(), LogLevel::Verbose);
+    setLogLevel(original);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");
+}
+
+TEST(LoggingDeathTest, FatalExitsWithCode1)
+{
+    EXPECT_EXIT(fatal("bad config '%s'", "x"),
+                ::testing::ExitedWithCode(1), "fatal: bad config 'x'");
+}
+
+TEST(LoggingDeathTest, AssertMacroPanicsOnFalse)
+{
+    EXPECT_DEATH(GHRP_ASSERT(1 == 2), "assertion failed");
+}
+
+TEST(Logging, AssertMacroPassesOnTrue)
+{
+    GHRP_ASSERT(1 == 1);  // must not abort
+    SUCCEED();
+}
+
+} // anonymous namespace

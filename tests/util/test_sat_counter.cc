@@ -1,0 +1,108 @@
+/** @file Unit tests for saturating counters. */
+
+#include <gtest/gtest.h>
+
+#include "util/sat_counter.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+TEST(SatCounter, SaturatesHigh)
+{
+    SatCounter c(2);
+    EXPECT_EQ(c.maximum(), 3u);
+    for (int i = 0; i < 10; ++i)
+        c.increment();
+    EXPECT_EQ(c.count(), 3u);
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(SatCounter, SaturatesLow)
+{
+    SatCounter c(2, 1);
+    c.decrement();
+    c.decrement();
+    c.decrement();
+    EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(SatCounter, InitialClamped)
+{
+    SatCounter c(2, 100);
+    EXPECT_EQ(c.count(), 3u);
+}
+
+TEST(SatCounter, SetClamps)
+{
+    SatCounter c(3);
+    c.set(5);
+    EXPECT_EQ(c.count(), 5u);
+    c.set(100);
+    EXPECT_EQ(c.count(), 7u);
+}
+
+TEST(SatCounter, Threshold)
+{
+    SatCounter c(3, 4);
+    EXPECT_TRUE(c.atLeast(4));
+    EXPECT_TRUE(c.atLeast(0));
+    EXPECT_FALSE(c.atLeast(5));
+}
+
+/** Property: counts never exceed the width-implied maximum. */
+class SatCounterWidth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(SatCounterWidth, NeverExceedsMax)
+{
+    SatCounter c(GetParam());
+    const std::uint32_t max = (1u << GetParam()) - 1;
+    EXPECT_EQ(c.maximum(), max);
+    for (int i = 0; i < 300; ++i) {
+        c.increment();
+        ASSERT_LE(c.count(), max);
+    }
+    for (int i = 0; i < 600; ++i) {
+        c.decrement();
+        ASSERT_LE(c.count(), max);
+    }
+    EXPECT_EQ(c.count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SatCounterWidth,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+TEST(SignedSatCounter, ClampsBothSides)
+{
+    SignedSatCounter w(3);  // [-4, 3]
+    EXPECT_EQ(w.minimum(), -4);
+    EXPECT_EQ(w.maximum(), 3);
+    for (int i = 0; i < 10; ++i)
+        w.train(true);
+    EXPECT_EQ(w.count(), 3);
+    for (int i = 0; i < 20; ++i)
+        w.train(false);
+    EXPECT_EQ(w.count(), -4);
+}
+
+TEST(SignedSatCounter, InitialClamped)
+{
+    SignedSatCounter hi(4, 100);
+    EXPECT_EQ(hi.count(), 7);
+    SignedSatCounter lo(4, -100);
+    EXPECT_EQ(lo.count(), -8);
+}
+
+TEST(SignedSatCounter, TrainsTowardOutcome)
+{
+    SignedSatCounter w(8);
+    w.train(true);
+    w.train(true);
+    w.train(false);
+    EXPECT_EQ(w.count(), 1);
+}
+
+} // anonymous namespace

@@ -1,0 +1,141 @@
+/** @file Unit and property tests for the program generator. */
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::workload;
+
+/** Property sweep over categories x seeds. */
+class GeneratorSweep
+    : public ::testing::TestWithParam<std::tuple<Category, std::uint64_t>>
+{
+  protected:
+    Program
+    generate() const
+    {
+        const auto [cat, seed] = GetParam();
+        return generateProgram(makeParams(cat, seed));
+    }
+};
+
+TEST_P(GeneratorSweep, ProgramValidates)
+{
+    const Program p = generate();  // generateProgram validates itself
+    EXPECT_GE(p.functions.size(), 2u);
+}
+
+TEST_P(GeneratorSweep, CallGraphIsDag)
+{
+    const Program p = generate();
+    for (std::size_t fi = 1; fi < p.functions.size(); ++fi)
+        for (const BasicBlock &b : p.functions[fi].blocks)
+            for (std::uint32_t callee : b.callees)
+                EXPECT_GT(callee, fi) << "call edge violates DAG order";
+}
+
+TEST_P(GeneratorSweep, DispatcherShape)
+{
+    const Program p = generate();
+    const Function &main_fn = p.functions[p.mainFunction];
+    ASSERT_EQ(main_fn.blocks.size(), 4u);
+    EXPECT_EQ(main_fn.blocks[1].term, TermKind::IndirectCall);
+    EXPECT_EQ(main_fn.blocks[2].term, TermKind::CondLoop);
+    EXPECT_EQ(main_fn.blocks[3].term, TermKind::Return);
+    EXPECT_FALSE(main_fn.blocks[1].callees.empty());
+}
+
+TEST_P(GeneratorSweep, ModulesPartitionFunctions)
+{
+    const Program p = generate();
+    std::vector<int> seen(p.functions.size(), 0);
+    seen[p.mainFunction] = 1;
+    for (const auto &module : p.modules)
+        for (std::uint32_t fi : module)
+            ++seen[fi];
+    for (std::size_t fi = 0; fi < seen.size(); ++fi)
+        EXPECT_EQ(seen[fi], 1) << "function " << fi;
+}
+
+TEST_P(GeneratorSweep, FunctionsAligned)
+{
+    const Program p = generate();
+    for (std::size_t fi = 1; fi < p.functions.size(); ++fi)
+        EXPECT_EQ(p.functions[fi].entry % 64, 0u);
+}
+
+TEST_P(GeneratorSweep, DeterministicForSeed)
+{
+    const auto [cat, seed] = GetParam();
+    const Program a = generateProgram(makeParams(cat, seed));
+    const Program b = generateProgram(makeParams(cat, seed));
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (std::size_t fi = 0; fi < a.functions.size(); ++fi) {
+        EXPECT_EQ(a.functions[fi].entry, b.functions[fi].entry);
+        EXPECT_EQ(a.functions[fi].blocks.size(),
+                  b.functions[fi].blocks.size());
+    }
+}
+
+TEST_P(GeneratorSweep, FootprintReasonable)
+{
+    const auto [cat, seed] = GetParam();
+    const Program p = generate();
+    const bool server = cat == Category::ShortServer ||
+                        cat == Category::LongServer;
+    const std::uint64_t kb = p.footprintBytes() / 1024;
+    if (server) {
+        EXPECT_GT(kb, 256u);   // servers: well beyond a 64KB I-cache
+        EXPECT_LT(kb, 16384u);
+    } else {
+        EXPECT_GT(kb, 64u);
+        EXPECT_LT(kb, 8192u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CategoriesAndSeeds, GeneratorSweep,
+    ::testing::Combine(::testing::Values(Category::ShortMobile,
+                                         Category::LongMobile,
+                                         Category::ShortServer,
+                                         Category::LongServer),
+                       ::testing::Values(1ull, 7ull, 42ull)));
+
+TEST(Generator, SeedsProduceDifferentPrograms)
+{
+    const Program a =
+        generateProgram(makeParams(Category::ShortServer, 1));
+    const Program b =
+        generateProgram(makeParams(Category::ShortServer, 2));
+    EXPECT_NE(a.functions.size(), b.functions.size());
+}
+
+TEST(Generator, ScanFunctionsExist)
+{
+    const Program p =
+        generateProgram(makeParams(Category::ShortServer, 5));
+    std::size_t scans = 0;
+    for (std::size_t fi = 0; fi < p.functions.size(); ++fi)
+        if (isScanFunction(p, static_cast<std::uint32_t>(fi)))
+            ++scans;
+    EXPECT_GT(scans, 0u);
+}
+
+TEST(Generator, CategoryNamesRoundTrip)
+{
+    for (Category c : {Category::ShortMobile, Category::LongMobile,
+                       Category::ShortServer, Category::LongServer})
+        EXPECT_EQ(parseCategory(categoryName(c)), c);
+}
+
+TEST(GeneratorDeathTest, UnknownCategoryIsFatal)
+{
+    EXPECT_EXIT(parseCategory("BOGUS"), ::testing::ExitedWithCode(1),
+                "unknown workload category");
+}
+
+} // anonymous namespace

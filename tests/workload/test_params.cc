@@ -1,0 +1,73 @@
+/** @file Unit tests for the workload category presets. */
+
+#include <gtest/gtest.h>
+
+#include "workload/params.hh"
+
+namespace
+{
+
+using namespace ghrp::workload;
+
+TEST(Params, LongCategoriesRunLonger)
+{
+    const WorkloadParams sm = makeParams(Category::ShortMobile, 1);
+    const WorkloadParams lm = makeParams(Category::LongMobile, 1);
+    const WorkloadParams ss = makeParams(Category::ShortServer, 1);
+    const WorkloadParams ls = makeParams(Category::LongServer, 1);
+    EXPECT_GT(lm.targetInstructions, sm.targetInstructions);
+    EXPECT_GT(ls.targetInstructions, ss.targetInstructions);
+}
+
+TEST(Params, ServersBiggerThanMobiles)
+{
+    const WorkloadParams mobile = makeParams(Category::ShortMobile, 3);
+    const WorkloadParams server = makeParams(Category::ShortServer, 3);
+    EXPECT_GT(server.numModules, mobile.numModules);
+    EXPECT_GT(server.funcsPerModuleLo, mobile.funcsPerModuleLo);
+}
+
+TEST(Params, SeedPerturbsShape)
+{
+    const WorkloadParams a = makeParams(Category::ShortServer, 1);
+    const WorkloadParams b = makeParams(Category::ShortServer, 2);
+    const bool differs = a.numModules != b.numModules ||
+                         a.zipfSkew != b.zipfSkew ||
+                         a.scanCodeFraction != b.scanCodeFraction;
+    EXPECT_TRUE(differs);
+}
+
+TEST(Params, DeterministicPerSeed)
+{
+    const WorkloadParams a = makeParams(Category::LongServer, 9);
+    const WorkloadParams b = makeParams(Category::LongServer, 9);
+    EXPECT_EQ(a.numModules, b.numModules);
+    EXPECT_EQ(a.zipfSkew, b.zipfSkew);
+    EXPECT_EQ(a.phaseLengthInstructions, b.phaseLengthInstructions);
+}
+
+TEST(Params, ProbabilitiesAreProbabilities)
+{
+    for (std::uint64_t seed : {1ull, 5ull, 99ull}) {
+        for (Category c : {Category::ShortMobile, Category::LongMobile,
+                           Category::ShortServer, Category::LongServer}) {
+            const WorkloadParams p = makeParams(c, seed);
+            for (double prob :
+                 {p.callFraction, p.indirectCallFraction, p.loopFraction,
+                  p.switchFraction, p.scanCodeFraction,
+                  p.bigLoopFraction, p.scanCallProbability,
+                  p.bigLoopCallProbability, p.crossModuleCallFraction,
+                  p.biasSkew}) {
+                EXPECT_GE(prob, 0.0);
+                EXPECT_LE(prob, 1.0);
+            }
+            EXPECT_GE(p.blocksPerFuncHi, p.blocksPerFuncLo);
+            EXPECT_GE(p.instrsPerBlockHi, p.instrsPerBlockLo);
+            EXPECT_GE(p.loopTripMeanHi, p.loopTripMeanLo);
+            EXPECT_GT(p.phaseLengthInstructions, 0u);
+            EXPECT_GT(p.maxFunctionCost, 1000u);
+        }
+    }
+}
+
+} // anonymous namespace

@@ -1,0 +1,105 @@
+/** @file Unit tests for the program model and its validator. */
+
+#include <gtest/gtest.h>
+
+#include "workload/program.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::workload;
+
+Program
+minimalProgram()
+{
+    Program p;
+    Function f;
+    f.entry = 0x1000;
+    BasicBlock b0;
+    b0.start = 0x1000;
+    b0.numInstrs = 2;
+    b0.term = TermKind::None;
+    BasicBlock b1;
+    b1.start = 0x1008;
+    b1.numInstrs = 1;
+    b1.term = TermKind::Return;
+    f.blocks = {b0, b1};
+    p.functions = {f};
+    p.modules = {{0}};
+    return p;
+}
+
+TEST(Program, MinimalValidates)
+{
+    validateProgram(minimalProgram());
+    SUCCEED();
+}
+
+TEST(Program, BlockHelpers)
+{
+    BasicBlock b;
+    b.start = 0x1000;
+    b.numInstrs = 4;
+    EXPECT_EQ(b.terminatorPc(4), 0x100Cu);
+    EXPECT_EQ(b.fallThrough(4), 0x1010u);
+}
+
+TEST(Program, FootprintBytes)
+{
+    const Program p = minimalProgram();
+    EXPECT_EQ(p.footprintBytes(), 3u * 4u);
+    EXPECT_EQ(p.functions[0].sizeBytes(4), 12u);
+}
+
+TEST(ProgramDeathTest, EmptyProgramPanics)
+{
+    Program p;
+    EXPECT_DEATH(validateProgram(p), "no functions");
+}
+
+TEST(ProgramDeathTest, NonContiguousBlocksPanic)
+{
+    Program p = minimalProgram();
+    p.functions[0].blocks[1].start = 0x2000;
+    EXPECT_DEATH(validateProgram(p), "not contiguous");
+}
+
+TEST(ProgramDeathTest, ForwardTargetMustBeForward)
+{
+    Program p = minimalProgram();
+    p.functions[0].blocks[0].term = TermKind::CondForward;
+    p.functions[0].blocks[0].targetBlock = 0;  // not > 0
+    EXPECT_DEATH(validateProgram(p), "bad forward target");
+}
+
+TEST(ProgramDeathTest, CallWithoutCalleesPanics)
+{
+    Program p = minimalProgram();
+    p.functions[0].blocks[0].term = TermKind::Call;
+    EXPECT_DEATH(validateProgram(p), "no callees");
+}
+
+TEST(ProgramDeathTest, CalleeOutOfRangePanics)
+{
+    Program p = minimalProgram();
+    p.functions[0].blocks[0].term = TermKind::Call;
+    p.functions[0].blocks[0].callees = {7};
+    EXPECT_DEATH(validateProgram(p), "callee out of range");
+}
+
+TEST(ProgramDeathTest, LastBlockFallThroughPanics)
+{
+    Program p = minimalProgram();
+    p.functions[0].blocks[1].term = TermKind::None;
+    EXPECT_DEATH(validateProgram(p), "");
+}
+
+TEST(ProgramDeathTest, SwitchWithoutTargetsPanics)
+{
+    Program p = minimalProgram();
+    p.functions[0].blocks[0].term = TermKind::IndirectJump;
+    EXPECT_DEATH(validateProgram(p), "switch with no targets");
+}
+
+} // anonymous namespace
