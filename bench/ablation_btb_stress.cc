@@ -9,11 +9,13 @@
  * paper's server traces exhibit.
  */
 
+#include <array>
 #include <cstdio>
 
 #include "bench_common.hh"
 #include "stats/running_stats.hh"
 #include "stats/table.hh"
+#include "util/random.hh"
 #include "workload/executor.hh"
 #include "workload/generator.hh"
 
@@ -28,55 +30,78 @@ main(int argc, char **argv)
     const std::uint64_t instructions =
         cli.getUint("instructions", 12'000'000);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
+    // One pool job per stress trace, results in per-trace slots so the
+    // reduction below is deterministic. Per-trace seeds use the pure
+    // traceSeed derivation (see src/util/random.hh).
+    std::vector<std::array<frontend::FrontendResult, 5>> rows(num_traces);
+    {
+        util::ThreadPool pool(jobs);
+        std::vector<std::future<void>> futures;
+        futures.reserve(num_traces);
+        for (std::uint32_t t = 0; t < num_traces; ++t)
+            futures.push_back(pool.submit([&, t]() {
+                const std::uint64_t seed = traceSeed(base_seed, t);
+                workload::WorkloadParams params = workload::makeParams(
+                    workload::Category::LongServer, seed);
+                // Enable the stub farms: ~1-2% of functions, 600-1500
+                // jump stubs each, dispatched ~6% of the time.
+                params.stubFarmFraction = 0.012;
+                params.stubBlocksLo = 600;
+                params.stubBlocksHi = 1500;
+                params.stubCallProbability = 0.06;
+                params.targetInstructions = instructions;
+
+                const workload::Program program =
+                    workload::generateProgram(params);
+                workload::ExecParams exec;
+                exec.seed = seed * 0x2545F4914F6CDD1Dull + 1;
+                exec.maxInstructions = params.targetInstructions;
+                exec.phaseLengthInstructions =
+                    params.phaseLengthInstructions;
+                exec.zipfSkew = params.zipfSkew;
+                exec.scanCallProbability = params.scanCallProbability;
+                exec.bigLoopCallProbability =
+                    params.bigLoopCallProbability;
+                exec.stubCallProbability = params.stubCallProbability;
+                const trace::Trace tr = workload::execute(
+                    program, exec, "btb-stress", "LONG-SERVER");
+
+                for (std::size_t p = 0;
+                     p < std::size(frontend::paperPolicies); ++p) {
+                    frontend::FrontendConfig config;
+                    config.policy = frontend::paperPolicies[p];
+                    rows[t][p] = frontend::simulateTrace(config, tr);
+                }
+            }));
+        for (std::uint32_t t = 0; t < num_traces; ++t) {
+            futures[t].get();
+            if (logLevel() != LogLevel::Quiet)
+                std::fprintf(stderr, "\r[%u/%u traces]", t + 1,
+                             num_traces);
+        }
+    }
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "\n");
+
     stats::RunningStats acc[5];
     stats::RunningStats dead_evict_pct;
-
     for (std::uint32_t t = 0; t < num_traces; ++t) {
-        workload::WorkloadParams params = workload::makeParams(
-            workload::Category::LongServer, base_seed + t);
-        // Enable the stub farms: ~1-2% of functions, 600-1500 jump
-        // stubs each, dispatched ~6% of the time.
-        params.stubFarmFraction = 0.012;
-        params.stubBlocksLo = 600;
-        params.stubBlocksHi = 1500;
-        params.stubCallProbability = 0.06;
-        params.targetInstructions = instructions;
-
-        const workload::Program program =
-            workload::generateProgram(params);
-        workload::ExecParams exec;
-        exec.seed = (base_seed + t) * 0x2545F4914F6CDD1Dull + 1;
-        exec.maxInstructions = params.targetInstructions;
-        exec.phaseLengthInstructions = params.phaseLengthInstructions;
-        exec.zipfSkew = params.zipfSkew;
-        exec.scanCallProbability = params.scanCallProbability;
-        exec.bigLoopCallProbability = params.bigLoopCallProbability;
-        exec.stubCallProbability = params.stubCallProbability;
-        const trace::Trace tr = workload::execute(
-            program, exec, "btb-stress", "LONG-SERVER");
-
         for (std::size_t p = 0; p < std::size(frontend::paperPolicies);
              ++p) {
-            frontend::FrontendConfig config;
-            config.policy = frontend::paperPolicies[p];
-            const frontend::FrontendResult r =
-                frontend::simulateTrace(config, tr);
+            const frontend::FrontendResult &r = rows[t][p];
             acc[p].add(r.btbMpki);
-            if (config.policy == frontend::PolicyKind::Ghrp &&
+            if (frontend::paperPolicies[p] == frontend::PolicyKind::Ghrp &&
                 r.btb.evictions) {
                 dead_evict_pct.add(
                     100.0 * static_cast<double>(r.btb.deadEvictions) /
                     static_cast<double>(r.btb.evictions));
             }
         }
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%u/%u traces]", t + 1, num_traces);
     }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
 
     std::printf("=== BTB stress (stub farms enabled, %u traces) ===\n\n",
                 num_traces);

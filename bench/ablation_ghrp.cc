@@ -37,6 +37,7 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getUint("traces", 8));
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
@@ -71,37 +72,46 @@ main(int argc, char **argv)
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
 
+    // One pool job per trace; the serial reduction below keeps the
+    // RunningStats accumulation order identical to the serial loop.
+    struct PerTrace
+    {
+        double lruIcache = 0, lruBtb = 0;
+        std::vector<double> icache, btb;
+    };
+    const std::vector<PerTrace> rows = bench::mapTraceSweep(
+        specs, instructions, jobs, variants.size() + 1,
+        [&](const workload::TraceSpec &, const trace::Trace &tr) {
+            PerTrace out;
+            frontend::FrontendConfig lru_config;
+            lru_config.policy = frontend::PolicyKind::Lru;
+            const frontend::FrontendResult lru =
+                frontend::simulateTrace(lru_config, tr);
+            out.lruIcache = lru.icacheMpki;
+            out.lruBtb = lru.btbMpki;
+            for (const Variant &variant : variants) {
+                frontend::FrontendConfig config;
+                config.policy = frontend::PolicyKind::Ghrp;
+                variant.apply(config);
+                const frontend::FrontendResult r =
+                    frontend::simulateTrace(config, tr);
+                out.icache.push_back(r.icacheMpki);
+                out.btb.push_back(r.btbMpki);
+            }
+            return out;
+        });
+
     stats::RunningStats lru_icache, lru_btb;
     std::vector<stats::RunningStats> var_icache(variants.size());
     std::vector<stats::RunningStats> var_btb(variants.size());
-
-    std::size_t done = 0;
-    for (const workload::TraceSpec &spec : specs) {
-        const trace::Trace tr =
-            workload::buildTrace(spec, instructions);
-
-        frontend::FrontendConfig lru_config;
-        lru_config.policy = frontend::PolicyKind::Lru;
-        const frontend::FrontendResult lru =
-            frontend::simulateTrace(lru_config, tr);
-        lru_icache.add(lru.icacheMpki);
-        lru_btb.add(lru.btbMpki);
-
+    for (const PerTrace &row : rows) {
+        lru_icache.add(row.lruIcache);
+        lru_btb.add(row.lruBtb);
         for (std::size_t v = 0; v < variants.size(); ++v) {
-            frontend::FrontendConfig config;
-            config.policy = frontend::PolicyKind::Ghrp;
-            variants[v].apply(config);
-            const frontend::FrontendResult r =
-                frontend::simulateTrace(config, tr);
-            var_icache[v].add(r.icacheMpki);
-            var_btb[v].add(r.btbMpki);
+            var_icache[v].add(row.icache[v]);
+            var_btb[v].add(row.btb[v]);
         }
-        ++done;
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
     }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
 
     std::printf("=== GHRP ablation study (%u traces) ===\n\n", num_traces);
     stats::TextTable table({"variant", "icache-MPKI", "vs LRU %",

@@ -25,6 +25,7 @@ main(int argc, char **argv)
     const std::uint64_t instructions =
         cli.getUint("instructions", 4'000'000);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
@@ -36,37 +37,39 @@ main(int argc, char **argv)
     stats::TextTable table({"trace", "LRU MPKI", "GHRP MPKI", "OPT MPKI",
                             "headroom %", "captured %"});
 
+    struct PerTrace
+    {
+        double lru = 0, ghrp = 0, opt = 0;
+    };
+    const std::vector<PerTrace> rows = bench::mapTraceSweep(
+        specs, instructions, jobs, 3,
+        [](const workload::TraceSpec &, const trace::Trace &tr) {
+            PerTrace out;
+            frontend::FrontendConfig cfg;
+            cfg.warmupFraction = 0.0;  // OPT replays the whole trace
+            cfg.policy = frontend::PolicyKind::Lru;
+            out.lru = frontend::simulateTrace(cfg, tr).icacheMpki;
+            cfg.policy = frontend::PolicyKind::Ghrp;
+            out.ghrp = frontend::simulateTrace(cfg, tr).icacheMpki;
+            out.opt = core::simulateOptIcache(tr, cfg.icache).mpki();
+            return out;
+        });
+
     double sum_headroom = 0, sum_captured = 0;
-    std::size_t done = 0;
-    for (const workload::TraceSpec &spec : specs) {
-        const trace::Trace tr = workload::buildTrace(spec, instructions);
-
-        frontend::FrontendConfig cfg;
-        cfg.warmupFraction = 0.0;  // OPT replays the whole trace
-        cfg.policy = frontend::PolicyKind::Lru;
-        const double lru = frontend::simulateTrace(cfg, tr).icacheMpki;
-        cfg.policy = frontend::PolicyKind::Ghrp;
-        const double ghrp = frontend::simulateTrace(cfg, tr).icacheMpki;
-        const double opt =
-            core::simulateOptIcache(tr, cfg.icache).mpki();
-
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const auto &[lru, ghrp, opt] = rows[i];
         const double headroom = lru > 0 ? (lru - opt) / lru * 100 : 0;
         const double captured =
             lru - opt > 1e-9 ? (lru - ghrp) / (lru - opt) * 100 : 0;
         sum_headroom += headroom;
         sum_captured += captured;
 
-        table.addRow({spec.name, stats::TextTable::num(lru),
+        table.addRow({specs[i].name, stats::TextTable::num(lru),
                       stats::TextTable::num(ghrp),
                       stats::TextTable::num(opt),
                       stats::TextTable::num(headroom, 1),
                       stats::TextTable::num(captured, 1)});
-        ++done;
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
     }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
 
     std::printf("%s\n", table.render().c_str());
     std::printf("mean headroom %.1f%%; mean share captured by GHRP "

@@ -51,6 +51,7 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getUint("traces", 8));
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
@@ -78,40 +79,51 @@ main(int argc, char **argv)
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
 
+    // One pool job per trace; the serial reduction below keeps the
+    // accumulation order identical to the old serial loop.
+    struct PerTrace
+    {
+        frontend::FrontendResult lru;
+        std::vector<frontend::FrontendResult> ghrp, sdbp;
+    };
+    const std::vector<PerTrace> rows = bench::mapTraceSweep(
+        specs, instructions, jobs,
+        1 + ghrp_variants.size() + sdbp_variants.size(),
+        [&](const workload::TraceSpec &, const trace::Trace &tr) {
+            PerTrace out;
+            frontend::FrontendConfig config;
+            config.policy = frontend::PolicyKind::Lru;
+            out.lru = frontend::simulateTrace(config, tr);
+
+            for (const GhrpVariant &v : ghrp_variants) {
+                config = frontend::FrontendConfig{};
+                config.policy = frontend::PolicyKind::Ghrp;
+                config.ghrp.counterBits = v.counterBits;
+                config.ghrp.deadThreshold = v.dead;
+                config.ghrp.bypassThreshold = v.bypass;
+                config.ghrp.btbDeadThreshold = v.btbDead;
+                out.ghrp.push_back(frontend::simulateTrace(config, tr));
+            }
+            for (const SdbpVariant &v : sdbp_variants) {
+                config = frontend::FrontendConfig{};
+                config.policy = frontend::PolicyKind::Sdbp;
+                config.sdbp.deadThreshold = v.dead;
+                config.sdbp.bypassThreshold = v.bypass;
+                out.sdbp.push_back(frontend::simulateTrace(config, tr));
+            }
+            return out;
+        });
+
     Accumulator lru;
     std::vector<Accumulator> ghrp_acc(ghrp_variants.size());
     std::vector<Accumulator> sdbp_acc(sdbp_variants.size());
-
-    std::size_t done = 0;
-    for (const workload::TraceSpec &spec : specs) {
-        const trace::Trace tr = workload::buildTrace(spec, instructions);
-
-        frontend::FrontendConfig config;
-        config.policy = frontend::PolicyKind::Lru;
-        lru.add(spec, frontend::simulateTrace(config, tr));
-
-        for (std::size_t v = 0; v < ghrp_variants.size(); ++v) {
-            config = frontend::FrontendConfig{};
-            config.policy = frontend::PolicyKind::Ghrp;
-            config.ghrp.counterBits = ghrp_variants[v].counterBits;
-            config.ghrp.deadThreshold = ghrp_variants[v].dead;
-            config.ghrp.bypassThreshold = ghrp_variants[v].bypass;
-            config.ghrp.btbDeadThreshold = ghrp_variants[v].btbDead;
-            ghrp_acc[v].add(spec, frontend::simulateTrace(config, tr));
-        }
-        for (std::size_t v = 0; v < sdbp_variants.size(); ++v) {
-            config = frontend::FrontendConfig{};
-            config.policy = frontend::PolicyKind::Sdbp;
-            config.sdbp.deadThreshold = sdbp_variants[v].dead;
-            config.sdbp.bypassThreshold = sdbp_variants[v].bypass;
-            sdbp_acc[v].add(spec, frontend::simulateTrace(config, tr));
-        }
-        ++done;
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        lru.add(specs[i], rows[i].lru);
+        for (std::size_t v = 0; v < ghrp_variants.size(); ++v)
+            ghrp_acc[v].add(specs[i], rows[i].ghrp[v]);
+        for (std::size_t v = 0; v < sdbp_variants.size(); ++v)
+            sdbp_acc[v].add(specs[i], rows[i].sdbp[v]);
     }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
 
     std::printf("=== Predictor threshold sweep (%u traces) ===\n\n",
                 num_traces);

@@ -1,23 +1,31 @@
 /**
  * @file
  * Shared helpers for the figure/table regeneration binaries: suite
- * options from the command line and progress reporting.
+ * options from the command line, progress reporting, parallel sweep
+ * execution, and throughput accounting.
  *
  * Every bench binary accepts:
  *   --traces N         suite size (default varies per figure)
  *   --instructions M   per-trace dynamic length override
  *   --seed S           suite base seed
- *   --quiet            suppress progress
+ *   --jobs N           sweep worker threads (0 = hardware concurrency,
+ *                      1 = serial; results are bit-identical either way)
+ *   --leg-times        print the per-leg wall-time table
+ *   --quiet            suppress progress and throughput reporting
  */
 
 #ifndef GHRP_BENCH_BENCH_COMMON_HH
 #define GHRP_BENCH_BENCH_COMMON_HH
 
+#include <chrono>
 #include <cstdio>
+#include <future>
+#include <vector>
 
 #include "core/cli.hh"
 #include "core/runner.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ghrp::bench
 {
@@ -33,9 +41,17 @@ suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
     options.baseSeed = cli.getUint("seed", 42);
     options.instructionOverride =
         cli.getUint("instructions", default_instructions);
+    options.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
     return options;
+}
+
+/** Worker count a set of SuiteOptions will actually use. */
+inline unsigned
+effectiveJobs(const core::SuiteOptions &options)
+{
+    return options.jobs ? options.jobs : util::ThreadPool::hardwareJobs();
 }
 
 /** Progress meter printing to stderr (suppressed by --quiet). */
@@ -51,6 +67,137 @@ progressMeter()
         if (done == total)
             std::fprintf(stderr, "\n");
     };
+}
+
+/**
+ * Throughput report for a finished sweep: legs/sec and simulated
+ * instructions/sec over the wall clock, plus the slowest leg (the
+ * critical path any further parallelism has to beat). Suppressed by
+ * --quiet. Pass print_leg_times (the --leg-times flag) for the full
+ * per-leg wall-time table.
+ */
+inline void
+reportThroughput(const core::SuiteResults &results, unsigned jobs,
+                 bool print_leg_times = false)
+{
+    if (logLevel() == LogLevel::Quiet)
+        return;
+
+    const std::size_t legs = results.totalLegs();
+    const double wall = results.wallSeconds;
+    const double instr =
+        static_cast<double>(results.simulatedInstructions());
+
+    double busy = 0.0, slowest = 0.0;
+    const char *slow_trace = "";
+    const char *slow_policy = "";
+    for (const auto &[policy, seconds] : results.legSeconds) {
+        for (std::size_t i = 0; i < seconds.size(); ++i) {
+            busy += seconds[i];
+            if (seconds[i] > slowest) {
+                slowest = seconds[i];
+                slow_trace = results.specs[i].name.c_str();
+                slow_policy = frontend::policyName(policy);
+            }
+        }
+    }
+
+    std::fprintf(stderr,
+                 "[sweep] %zu legs in %.2f s with %u jobs — "
+                 "%.2f legs/s, %.1f Minstr/s, speedup %.2fx "
+                 "(busy %.2f s; slowest leg %.2f s: %s/%s)\n",
+                 legs, wall, jobs, wall > 0 ? legs / wall : 0.0,
+                 wall > 0 ? instr / wall / 1e6 : 0.0,
+                 wall > 0 ? busy / wall : 0.0, busy, slowest, slow_trace,
+                 slow_policy);
+
+    if (print_leg_times) {
+        std::fprintf(stderr, "[sweep] per-leg wall time (seconds):\n");
+        for (const auto &[policy, seconds] : results.legSeconds)
+            for (std::size_t i = 0; i < seconds.size(); ++i)
+                std::fprintf(stderr, "[sweep]   %-18s %-8s %8.3f\n",
+                             results.specs[i].name.c_str(),
+                             frontend::policyName(policy), seconds[i]);
+    }
+}
+
+/**
+ * Run the standard sweep on the parallel path with progress and a
+ * throughput report. Drop-in replacement for core::runSuite in the
+ * figure binaries.
+ */
+inline core::SuiteResults
+runSuiteTimed(const core::SuiteOptions &options,
+              const core::CliOptions &cli)
+{
+    const core::SuiteResults results =
+        core::runSuite(options, progressMeter());
+    reportThroughput(results, effectiveJobs(options),
+                     cli.has("leg-times"));
+    return results;
+}
+
+/**
+ * Parallel per-trace sweep for the custom bench loops that do not go
+ * through core::runSuite (config sweeps, ablations, OPT replays):
+ * builds each trace on a work-stealing pool, applies @p fn, and
+ * returns the per-trace values in suite order, so downstream
+ * aggregation is deterministic regardless of scheduling. @p fn must
+ * not touch shared mutable state. Prints a throughput report based on
+ * @p legs_per_trace (simulation runs per trace inside fn).
+ */
+template <typename Fn>
+auto
+mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
+              std::uint64_t instruction_override, unsigned jobs,
+              std::size_t legs_per_trace, Fn &&fn)
+    -> std::vector<decltype(fn(specs.front(), trace::Trace{}))>
+{
+    using R = decltype(fn(specs.front(), trace::Trace{}));
+
+    const unsigned n = jobs ? jobs : util::ThreadPool::hardwareJobs();
+    std::vector<R> out(specs.size());
+    const auto start = std::chrono::steady_clock::now();
+
+    if (n <= 1 || specs.size() <= 1) {
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            const trace::Trace tr =
+                workload::buildTrace(specs[i], instruction_override);
+            out[i] = fn(specs[i], tr);
+            if (logLevel() != LogLevel::Quiet)
+                std::fprintf(stderr, "\r[%3zu/%3zu traces]", i + 1,
+                             specs.size());
+        }
+    } else {
+        util::ThreadPool pool(n);
+        std::vector<std::future<void>> futures;
+        futures.reserve(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            futures.push_back(pool.submit([&, i]() {
+                const trace::Trace tr =
+                    workload::buildTrace(specs[i], instruction_override);
+                out[i] = fn(specs[i], tr);
+            }));
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+            futures[i].get();
+            if (logLevel() != LogLevel::Quiet)
+                std::fprintf(stderr, "\r[%3zu/%3zu traces]", i + 1,
+                             specs.size());
+        }
+    }
+
+    const double wall = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (logLevel() != LogLevel::Quiet) {
+        const std::size_t legs = specs.size() * legs_per_trace;
+        std::fprintf(stderr,
+                     "\n[sweep] %zu traces (%zu legs) in %.2f s with "
+                     "%u jobs — %.2f legs/s\n",
+                     specs.size(), legs, wall, n,
+                     wall > 0 ? legs / wall : 0.0);
+    }
+    return out;
 }
 
 } // namespace ghrp::bench

@@ -24,25 +24,33 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getUint("traces", 8));
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
 
+    struct PerTrace
+    {
+        frontend::FrontendResult base, itp;
+    };
+    const std::vector<PerTrace> rows = bench::mapTraceSweep(
+        specs, instructions, jobs, 2,
+        [](const workload::TraceSpec &, const trace::Trace &tr) {
+            PerTrace out;
+            frontend::FrontendConfig cfg;
+            cfg.policy = frontend::PolicyKind::Ghrp;
+            out.base = frontend::simulateTrace(cfg, tr);
+            cfg.useIndirectPredictor = true;
+            out.itp = frontend::simulateTrace(cfg, tr);
+            return out;
+        });
+
     stats::RunningStats base_rate, itp_rate, base_mpki, itp_mpki;
-    std::size_t done = 0;
-    for (const workload::TraceSpec &spec : specs) {
-        const trace::Trace tr = workload::buildTrace(spec, instructions);
-
-        frontend::FrontendConfig cfg;
-        cfg.policy = frontend::PolicyKind::Ghrp;
-        const frontend::FrontendResult base =
-            frontend::simulateTrace(cfg, tr);
-        cfg.useIndirectPredictor = true;
-        const frontend::FrontendResult itp =
-            frontend::simulateTrace(cfg, tr);
-
+    for (const PerTrace &row : rows) {
+        const frontend::FrontendResult &base = row.base;
+        const frontend::FrontendResult &itp = row.itp;
         if (base.indirectBranches > 0) {
             base_rate.add(100.0 *
                           static_cast<double>(base.indirectMispredicts) /
@@ -53,12 +61,7 @@ main(int argc, char **argv)
         }
         base_mpki.add(base.indirectMpki());
         itp_mpki.add(itp.indirectMpki());
-        ++done;
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
     }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
 
     std::printf("=== Extension: indirect target prediction (GHRP "
                 "replacement, %u traces) ===\n\n",

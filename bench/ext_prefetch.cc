@@ -25,6 +25,7 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getUint("traces", 8));
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
@@ -32,25 +33,33 @@ main(int argc, char **argv)
         workload::makeSuite(num_traces, base_seed);
 
     const std::uint32_t degrees[] = {0, 1, 2};
-    stats::RunningStats lru_acc[3], ghrp_acc[3];
 
-    std::size_t done = 0;
-    for (const workload::TraceSpec &spec : specs) {
-        const trace::Trace tr = workload::buildTrace(spec, instructions);
+    struct PerTrace
+    {
+        double lru[3] = {}, ghrp[3] = {};
+    };
+    const std::vector<PerTrace> rows = bench::mapTraceSweep(
+        specs, instructions, jobs, 2 * std::size(degrees),
+        [&](const workload::TraceSpec &, const trace::Trace &tr) {
+            PerTrace out;
+            for (std::size_t d = 0; d < std::size(degrees); ++d) {
+                frontend::FrontendConfig cfg;
+                cfg.nextLinePrefetch = degrees[d];
+                cfg.policy = frontend::PolicyKind::Lru;
+                out.lru[d] = frontend::simulateTrace(cfg, tr).icacheMpki;
+                cfg.policy = frontend::PolicyKind::Ghrp;
+                out.ghrp[d] = frontend::simulateTrace(cfg, tr).icacheMpki;
+            }
+            return out;
+        });
+
+    stats::RunningStats lru_acc[3], ghrp_acc[3];
+    for (const PerTrace &row : rows) {
         for (std::size_t d = 0; d < std::size(degrees); ++d) {
-            frontend::FrontendConfig cfg;
-            cfg.nextLinePrefetch = degrees[d];
-            cfg.policy = frontend::PolicyKind::Lru;
-            lru_acc[d].add(frontend::simulateTrace(cfg, tr).icacheMpki);
-            cfg.policy = frontend::PolicyKind::Ghrp;
-            ghrp_acc[d].add(frontend::simulateTrace(cfg, tr).icacheMpki);
+            lru_acc[d].add(row.lru[d]);
+            ghrp_acc[d].add(row.ghrp[d]);
         }
-        ++done;
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
     }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
 
     std::printf("=== Extension: next-line prefetch x replacement "
                 "(%u traces) ===\n\n",

@@ -26,7 +26,7 @@ main(int argc, char **argv)
     core::SuiteOptions options = bench::suiteOptions(cli, 24, 0);
 
     const core::SuiteResults results =
-        core::runSuite(options, bench::progressMeter());
+        bench::runSuiteTimed(options, cli);
 
     const std::vector<double> lru =
         results.icacheMpki(frontend::PolicyKind::Lru);

@@ -34,28 +34,53 @@ main(int argc, char **argv)
                 workload::categoryName(spec.category),
                 static_cast<unsigned long long>(spec.seed));
 
-    for (frontend::PolicyKind policy : frontend::paperPolicies) {
-        frontend::FrontendConfig config;
-        config.policy = policy;
-        config.btb = cache::CacheConfig::btb(256, 8);
-        config.trackEfficiency = true;
+    // One pool job per policy leg; rendered text is collected into
+    // per-policy slots and printed in paper order afterwards.
+    struct PolicyOutput
+    {
+        std::string text;
+        std::string pgmPath;
+    };
+    const std::size_t num_policies = std::size(frontend::paperPolicies);
+    std::vector<PolicyOutput> outputs(num_policies);
+    {
+        util::ThreadPool pool(
+            static_cast<unsigned>(cli.getUint("jobs", 0)));
+        std::vector<std::future<void>> legs;
+        legs.reserve(num_policies);
+        for (std::size_t p = 0; p < num_policies; ++p)
+            legs.push_back(pool.submit([&, p]() {
+                frontend::FrontendConfig config;
+                config.policy = frontend::paperPolicies[p];
+                config.btb = cache::CacheConfig::btb(256, 8);
+                config.trackEfficiency = true;
 
-        frontend::FrontendSim sim(config);
-        const frontend::FrontendResult r = sim.run(tr);
-        const stats::EfficiencyTracker &eff = *sim.btbTracker();
+                frontend::FrontendSim sim(config);
+                const frontend::FrontendResult r = sim.run(tr);
+                const stats::EfficiencyTracker &eff = *sim.btbTracker();
 
-        std::printf("--- %s: mean efficiency %.3f, BTB MPKI %.3f ---\n",
-                    frontend::policyName(policy), eff.meanEfficiency(),
-                    r.btbMpki);
-        std::printf("%s\n", eff.renderAscii(16).c_str());
-
-        if (!pgm_prefix.empty()) {
-            const std::string path = pgm_prefix + "_" +
-                                     frontend::policyName(policy) +
-                                     ".pgm";
-            eff.writePgm(path);
-            std::printf("wrote %s\n\n", path.c_str());
-        }
+                char head[128];
+                std::snprintf(head, sizeof(head),
+                              "--- %s: mean efficiency %.3f, "
+                              "BTB MPKI %.3f ---\n",
+                              frontend::policyName(config.policy),
+                              eff.meanEfficiency(), r.btbMpki);
+                outputs[p].text =
+                    std::string(head) + eff.renderAscii(16) + "\n";
+                if (!pgm_prefix.empty()) {
+                    outputs[p].pgmPath =
+                        pgm_prefix + "_" +
+                        frontend::policyName(config.policy) + ".pgm";
+                    eff.writePgm(outputs[p].pgmPath);
+                }
+            }));
+        for (std::future<void> &f : legs)
+            f.get();
+    }
+    for (const PolicyOutput &out : outputs) {
+        std::printf("%s", out.text.c_str());
+        if (!out.pgmPath.empty())
+            std::printf("wrote %s\n\n", out.pgmPath.c_str());
     }
     return 0;
 }

@@ -19,7 +19,7 @@ main(int argc, char **argv)
     core::SuiteOptions options = bench::suiteOptions(cli, 10, 0);
 
     const core::SuiteResults results =
-        core::runSuite(options, bench::progressMeter());
+        bench::runSuiteTimed(options, cli);
 
     std::printf("=== Figure 6: per-benchmark I-cache MPKI "
                 "(64KB 8-way 64B, %zu traces) ===\n\n",

@@ -22,6 +22,7 @@ main(int argc, char **argv)
     const std::uint64_t instructions =
         cli.getUint("instructions", 4'000'000);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
+    const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
 
@@ -36,29 +37,37 @@ main(int argc, char **argv)
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
 
+    // Per-trace MPKI grid, computed one trace per pool job; the serial
+    // reduction below keeps the summation order fixed.
+    struct PerTrace
+    {
+        double mpki[8][5] = {};
+    };
+    const std::vector<PerTrace> grids = bench::mapTraceSweep(
+        specs, instructions, jobs,
+        std::size(configs) * std::size(frontend::paperPolicies),
+        [&](const workload::TraceSpec &, const trace::Trace &tr) {
+            PerTrace out;
+            for (std::size_t c = 0; c < std::size(configs); ++c) {
+                for (std::size_t p = 0;
+                     p < std::size(frontend::paperPolicies); ++p) {
+                    frontend::FrontendConfig config;
+                    config.policy = frontend::paperPolicies[p];
+                    config.icache = cache::CacheConfig::icache(
+                        configs[c].kb, configs[c].assoc);
+                    out.mpki[c][p] =
+                        frontend::simulateTrace(config, tr).icacheMpki;
+                }
+            }
+            return out;
+        });
+
     // means[config][policy]
     double sums[8][5] = {};
-
-    std::size_t done = 0;
-    for (const workload::TraceSpec &spec : specs) {
-        const trace::Trace tr = workload::buildTrace(spec, instructions);
-        for (std::size_t c = 0; c < std::size(configs); ++c) {
-            for (std::size_t p = 0;
-                 p < std::size(frontend::paperPolicies); ++p) {
-                frontend::FrontendConfig config;
-                config.policy = frontend::paperPolicies[p];
-                config.icache = cache::CacheConfig::icache(
-                    configs[c].kb, configs[c].assoc);
-                sums[c][p] +=
-                    frontend::simulateTrace(config, tr).icacheMpki;
-            }
-        }
-        ++done;
-        if (logLevel() != LogLevel::Quiet)
-            std::fprintf(stderr, "\r[%zu/%zu traces]", done, specs.size());
-    }
-    if (logLevel() != LogLevel::Quiet)
-        std::fprintf(stderr, "\n");
+    for (const PerTrace &grid : grids)
+        for (std::size_t c = 0; c < std::size(configs); ++c)
+            for (std::size_t p = 0; p < 5; ++p)
+                sums[c][p] += grid.mpki[c][p];
 
     std::printf("=== Figure 7: average I-cache MPKI by configuration "
                 "(%u traces) ===\n\n",

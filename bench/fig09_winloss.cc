@@ -21,7 +21,7 @@ main(int argc, char **argv)
     const double tolerance = cli.getDouble("tolerance", 0.02);
 
     const core::SuiteResults results =
-        core::runSuite(options, bench::progressMeter());
+        bench::runSuiteTimed(options, cli);
     const std::vector<double> lru =
         results.icacheMpki(frontend::PolicyKind::Lru);
 

@@ -1,8 +1,9 @@
 /**
  * @file
  * Minimal command-line parsing shared by the bench binaries and
- * examples: --traces N, --instructions M, --seed S, --quiet, plus
- * binary-specific extras registered by name.
+ * examples: --traces N, --instructions M, --seed S, --jobs N (sweep
+ * worker threads; 0 = hardware concurrency, 1 = serial), --quiet,
+ * plus binary-specific extras registered by name.
  */
 
 #ifndef GHRP_CORE_CLI_HH

@@ -1,8 +1,12 @@
 #include "core/runner.hh"
 
+#include <chrono>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace ghrp::core
 {
@@ -92,42 +96,185 @@ SuiteResults::winLoss(const std::vector<double> &series,
     return wl;
 }
 
+std::size_t
+SuiteResults::totalLegs() const
+{
+    std::size_t legs = 0;
+    for (const auto &[policy, runs] : results)
+        legs += runs.size();
+    return legs;
+}
+
+std::uint64_t
+SuiteResults::simulatedInstructions() const
+{
+    std::uint64_t total = 0;
+    for (const auto &[policy, runs] : results)
+        for (const frontend::FrontendResult &r : runs)
+            total += r.totalInstructions;
+    return total;
+}
+
+namespace
+{
+
+/** Shared bookkeeping for one sweep: pre-sized result slots plus a
+ *  serialised progress tick. */
+class SweepSink
+{
+  public:
+    SweepSink(SuiteResults &out, const SuiteOptions &options,
+              const ProgressFn &progress)
+        : out(out), options(options), progress(progress),
+          totalUnits(out.specs.size() * options.policies.size())
+    {
+        for (frontend::PolicyKind policy : options.policies) {
+            out.results[policy].resize(out.specs.size());
+            out.legSeconds[policy].resize(out.specs.size(), 0.0);
+        }
+    }
+
+    /** Simulate one (trace, policy) leg and store it in its slot. */
+    void
+    runLeg(std::size_t trace_index, frontend::PolicyKind policy,
+           const trace::Trace &tr)
+    {
+        frontend::FrontendConfig config = options.base;
+        config.policy = policy;
+
+        const auto start = std::chrono::steady_clock::now();
+        frontend::FrontendResult result =
+            frontend::simulateTrace(config, tr);
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+
+        result.traceName = out.specs[trace_index].name;
+        // Slot writes: distinct (policy, trace_index) pairs never
+        // alias, and the vectors were sized up front, so concurrent
+        // legs need no lock here.
+        out.results[policy][trace_index] = std::move(result);
+        out.legSeconds[policy][trace_index] = elapsed.count();
+        tick(trace_index, policy);
+    }
+
+  private:
+    void
+    tick(std::size_t trace_index, frontend::PolicyKind policy)
+    {
+        std::lock_guard<std::mutex> lock(progressMutex);
+        ++done;
+        if (progress)
+            progress(done, totalUnits,
+                     out.specs[trace_index].name + " / " +
+                         frontend::policyName(policy));
+        else if (options.verbose)
+            inform("[%zu/%zu] %s %s", done, totalUnits,
+                   out.specs[trace_index].name.c_str(),
+                   frontend::policyName(policy));
+    }
+
+    SuiteResults &out;
+    const SuiteOptions &options;
+    const ProgressFn &progress;
+    const std::size_t totalUnits;
+    std::mutex progressMutex;
+    std::size_t done = 0;
+};
+
+/** Serial reference path: same slot discipline, no threads. */
+void
+runSerial(SweepSink &sink, const SuiteResults &out,
+          const SuiteOptions &options)
+{
+    for (std::size_t i = 0; i < out.specs.size(); ++i) {
+        // Generate the trace once and reuse it for every policy so the
+        // comparison is paired (identical access streams).
+        const trace::Trace tr =
+            workload::buildTrace(out.specs[i], options.instructionOverride);
+        for (frontend::PolicyKind policy : options.policies)
+            sink.runLeg(i, policy, tr);
+    }
+}
+
+/**
+ * Parallel path: every (trace, policy) leg is an independent pool job.
+ * The trace for leg (i, *) is built by a per-trace job and shared by
+ * that trace's legs via shared_ptr; builds run at most `window` traces
+ * ahead of the harvest cursor so memory stays bounded on large suites.
+ */
+void
+runParallel(SweepSink &sink, const SuiteResults &out,
+            const SuiteOptions &options, util::ThreadPool &pool)
+{
+    using TracePtr = std::shared_ptr<const trace::Trace>;
+
+    const std::size_t num_traces = out.specs.size();
+    const std::size_t window =
+        std::max<std::size_t>(2 * static_cast<std::size_t>(pool.size()), 4);
+
+    std::vector<std::future<TracePtr>> builds(num_traces);
+    std::vector<std::vector<std::future<void>>> legs(num_traces);
+
+    std::size_t next_build = 0;
+    const auto pump = [&](std::size_t upto) {
+        for (; next_build < std::min(upto, num_traces); ++next_build) {
+            const workload::TraceSpec &spec = out.specs[next_build];
+            builds[next_build] = pool.submit([&spec, &options]() {
+                return std::make_shared<const trace::Trace>(
+                    workload::buildTrace(spec,
+                                         options.instructionOverride));
+            });
+        }
+    };
+
+    pump(window);
+    for (std::size_t i = 0; i < num_traces; ++i) {
+        const TracePtr tr = builds[i].get();  // rethrows build errors
+        builds[i] = {};
+        legs[i].reserve(options.policies.size());
+        for (frontend::PolicyKind policy : options.policies)
+            legs[i].push_back(pool.submit([&sink, i, policy, tr]() {
+                sink.runLeg(i, policy, *tr);
+            }));
+        // Keep at most `window` traces with outstanding legs before
+        // opening new builds, then harvest (and rethrow from) the
+        // oldest trace's legs.
+        pump(i + 1 + window);
+        if (i + 1 >= window)
+            for (std::future<void> &f : legs[i + 1 - window])
+                f.get();
+    }
+    for (std::size_t i = num_traces >= window ? num_traces - window + 1 : 0;
+         i < num_traces; ++i)
+        for (std::future<void> &f : legs[i])
+            f.get();
+}
+
+} // anonymous namespace
+
 SuiteResults
 runSuite(const SuiteOptions &options, const ProgressFn &progress)
 {
     SuiteResults out;
     out.specs = workload::makeSuite(options.numTraces, options.baseSeed);
-    for (frontend::PolicyKind policy : options.policies)
-        out.results[policy] = {};
 
-    const std::size_t total_units =
-        out.specs.size() * options.policies.size();
-    std::size_t done = 0;
+    SweepSink sink(out, options, progress);
+    const unsigned jobs =
+        options.jobs ? options.jobs : util::ThreadPool::hardwareJobs();
 
-    for (const workload::TraceSpec &spec : out.specs) {
-        // Generate the trace once and reuse it for every policy so the
-        // comparison is paired (identical access streams).
-        const trace::Trace tr =
-            workload::buildTrace(spec, options.instructionOverride);
-
-        for (frontend::PolicyKind policy : options.policies) {
-            frontend::FrontendConfig config = options.base;
-            config.policy = policy;
-
-            frontend::FrontendResult result =
-                frontend::simulateTrace(config, tr);
-            result.traceName = spec.name;
-            out.results[policy].push_back(std::move(result));
-
-            ++done;
-            if (progress)
-                progress(done, total_units,
-                         spec.name + " / " + frontend::policyName(policy));
-            else if (options.verbose)
-                inform("[%zu/%zu] %s %s", done, total_units,
-                       spec.name.c_str(), frontend::policyName(policy));
-        }
+    const auto start = std::chrono::steady_clock::now();
+    if (jobs <= 1 || out.specs.size() * options.policies.size() <= 1) {
+        runSerial(sink, out, options);
+    } else {
+        // Destroyed before `out` and `sink`, so no job outlives the
+        // state it references even on exception unwind.
+        util::ThreadPool pool(jobs);
+        runParallel(sink, out, options, pool);
     }
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
     return out;
 }
 

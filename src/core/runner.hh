@@ -35,6 +35,16 @@ struct SuiteOptions
         frontend::paperPolicies + std::size(frontend::paperPolicies)};
     frontend::FrontendConfig base;  ///< policy field is overridden
     bool verbose = false;           ///< progress to stderr
+
+    /**
+     * Worker threads for the sweep: each (trace, policy) leg is an
+     * independent job. 0 = hardware concurrency; 1 = run serially on
+     * the calling thread. Results are bit-identical for every value —
+     * per-trace seeds are derived purely from (baseSeed, trace index)
+     * and every leg writes into a pre-sized slot, so neither the
+     * simulation nor the aggregation order depends on scheduling.
+     */
+    unsigned jobs = 0;
 };
 
 /** All results of a suite run. */
@@ -44,6 +54,19 @@ struct SuiteResults
     /** results[policy][trace index] */
     std::map<frontend::PolicyKind, std::vector<frontend::FrontendResult>>
         results;
+
+    /** Wall-clock seconds each leg spent in simulateTrace():
+     *  legSeconds[policy][trace index]. Timing only — excluded from
+     *  the determinism guarantee. */
+    std::map<frontend::PolicyKind, std::vector<double>> legSeconds;
+    /** End-to-end wall-clock seconds for the whole sweep. */
+    double wallSeconds = 0.0;
+
+    /** Number of (trace, policy) legs simulated. */
+    std::size_t totalLegs() const;
+
+    /** Sum of simulated dynamic instructions over all legs. */
+    std::uint64_t simulatedInstructions() const;
 
     /** Per-trace I-cache MPKI series for @p policy. */
     std::vector<double> icacheMpki(frontend::PolicyKind policy) const;
@@ -94,6 +117,14 @@ using ProgressFn =
 /**
  * Run the full suite: for each trace spec, generate the trace once and
  * simulate it under every requested policy.
+ *
+ * With options.jobs != 1 the (trace, policy) legs run on a
+ * work-stealing thread pool. Trace generation is bounded to a sliding
+ * window of roughly 2 x jobs traces ahead of the slowest outstanding
+ * leg, so a 662-trace sweep never holds the whole suite in memory.
+ * The progress callback is serialised (never invoked concurrently),
+ * but completion order is scheduling-dependent; only the *results* are
+ * deterministic. Exceptions thrown by a leg are rethrown here.
  */
 SuiteResults runSuite(const SuiteOptions &options,
                       const ProgressFn &progress = nullptr);

@@ -10,15 +10,7 @@ namespace ghrp
 namespace
 {
 
-std::uint64_t
-splitMix64(std::uint64_t &state)
-{
-    state += 0x9E3779B97F4A7C15ull;
-    std::uint64_t z = state;
-    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
-    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
-    return z ^ (z >> 31);
-}
+constexpr std::uint64_t kSplitMixGamma = 0x9E3779B97F4A7C15ull;
 
 std::uint64_t
 rotl(std::uint64_t x, int k)
@@ -28,11 +20,28 @@ rotl(std::uint64_t x, int k)
 
 } // anonymous namespace
 
+std::uint64_t
+splitMix64(std::uint64_t x)
+{
+    std::uint64_t z = x + kSplitMixGamma;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+traceSeed(std::uint64_t base_seed, std::uint64_t trace_index)
+{
+    // SplitMix64's state advances along a Weyl sequence (+= gamma per
+    // draw), so the n-th output is reachable directly: jump the state
+    // by n gammas and scramble once.
+    return splitMix64(base_seed + trace_index * kSplitMixGamma);
+}
+
 Rng::Rng(std::uint64_t seed)
 {
-    std::uint64_t sm = seed;
-    s0 = splitMix64(sm);
-    s1 = splitMix64(sm);
+    s0 = splitMix64(seed);
+    s1 = splitMix64(seed + kSplitMixGamma);
     // The all-zero state is invalid for xoroshiro; SplitMix64 cannot
     // produce two zero outputs in a row, but guard anyway.
     if (s0 == 0 && s1 == 0)

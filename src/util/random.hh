@@ -17,6 +17,26 @@ namespace ghrp
 {
 
 /**
+ * Stateless SplitMix64 step: scrambles @p x into a well-mixed 64-bit
+ * value (Steele, Lea & Flood). Bijective, so distinct inputs give
+ * distinct outputs.
+ */
+std::uint64_t splitMix64(std::uint64_t x);
+
+/**
+ * Pure per-trace seed derivation: the seed for trace @p trace_index of
+ * a suite with base seed @p base_seed, independent of every other
+ * trace. Equivalent to the (trace_index + 1)-th output of a SplitMix64
+ * stream seeded with @p base_seed, computed in O(1) by jumping the
+ * stream's Weyl sequence — so trace N's generator stream never depends
+ * on traces 0..N-1 having been generated, and any (trace, policy) leg
+ * can be simulated in isolation (or in parallel) with identical
+ * results.
+ */
+std::uint64_t traceSeed(std::uint64_t base_seed,
+                        std::uint64_t trace_index);
+
+/**
  * xoroshiro128++ generator (Blackman & Vigna). Deterministic for a given
  * seed on every platform; passes BigCrush.
  */

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 
+#include "util/random.hh"
 #include "workload/executor.hh"
 #include "workload/generator.hh"
 
@@ -20,7 +21,12 @@ makeSuite(std::uint32_t num_traces, std::uint64_t base_seed)
     for (std::uint32_t i = 0; i < num_traces; ++i) {
         TraceSpec spec;
         spec.category = cycle[i % 4];
-        spec.seed = base_seed + i;
+        // Pure per-index derivation: trace i's seed (and therefore its
+        // whole generator stream) is independent of every other trace,
+        // so legs can be built in any order — or concurrently — with
+        // identical results. splitMix64 also decorrelates neighbouring
+        // base seeds, which plain base_seed + i did not.
+        spec.seed = traceSeed(base_seed, i);
         char name[64];
         std::snprintf(name, sizeof(name), "%s-%02u",
                       categoryName(spec.category), i / 4 + 1);

@@ -29,13 +29,18 @@ struct TraceSpec
 
 /**
  * Build a suite of @p num_traces specs cycling through the four
- * categories (the CBP-5 mix), with seeds derived from @p base_seed.
+ * categories (the CBP-5 mix). Per-trace seeds come from the pure
+ * ghrp::traceSeed(base_seed, index) derivation, so each spec — and the
+ * trace generated from it — is independent of every other trace in the
+ * suite.
  */
 std::vector<TraceSpec> makeSuite(std::uint32_t num_traces,
                                  std::uint64_t base_seed = 42);
 
 /**
- * Generate the trace for one spec.
+ * Generate the trace for one spec. Pure: the result depends only on
+ * the arguments, and concurrent calls on distinct specs (or even the
+ * same spec) are safe — the generator keeps no global state.
  *
  * @param spec benchmark identity.
  * @param instruction_override when nonzero, overrides the category's

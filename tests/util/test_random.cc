@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "util/random.hh"
@@ -146,6 +147,65 @@ TEST(Rng, WeightedAllZeroFallsBackUniform)
     for (int i = 0; i < 200; ++i)
         saw[rng.nextWeighted({0.0, 0.0, 0.0})] = true;
     EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+}
+
+TEST(SplitMix, PureAndDeterministic)
+{
+    for (std::uint64_t x : {0ull, 1ull, 42ull, ~0ull})
+        EXPECT_EQ(splitMix64(x), splitMix64(x));
+    // Known scrambler property: distinct inputs scramble to distinct
+    // outputs (splitMix64 is a bijection on 64-bit values).
+    EXPECT_NE(splitMix64(0), splitMix64(1));
+    EXPECT_NE(splitMix64(1), splitMix64(2));
+}
+
+TEST(TraceSeed, PureFunctionOfBaseAndIndex)
+{
+    for (std::uint64_t base : {0ull, 42ull, 0xDEADBEEFull}) {
+        for (std::uint64_t i : {0ull, 1ull, 7ull, 661ull}) {
+            EXPECT_EQ(traceSeed(base, i), traceSeed(base, i));
+        }
+    }
+}
+
+TEST(TraceSeed, DistinctAcrossIndicesAndBases)
+{
+    std::vector<std::uint64_t> seen;
+    for (std::uint64_t base : {1ull, 42ull})
+        for (std::uint64_t i = 0; i < 256; ++i)
+            seen.push_back(traceSeed(base, i));
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(TraceSeed, MatchesStatefulSplitMixStream)
+{
+    // traceSeed(base, i) must equal the (i+1)-th output of a classic
+    // stateful SplitMix64 generator seeded with base — that is what
+    // makes it an O(1) random-access jump into the stream, so trace N
+    // can be seeded without deriving seeds for traces 0..N-1.
+    constexpr std::uint64_t gamma = 0x9E3779B97F4A7C15ull;
+    const std::uint64_t base = 42;
+    std::uint64_t state = base;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        state += gamma;
+        std::uint64_t z = state;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        z ^= z >> 31;
+        EXPECT_EQ(traceSeed(base, i), z) << "index " << i;
+    }
+}
+
+TEST(TraceSeed, SeedsIndependentRngStreams)
+{
+    // Adjacent trace seeds must drive uncorrelated xoroshiro streams.
+    Rng a(traceSeed(42, 0)), b(traceSeed(42, 1));
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
 }
 
 } // anonymous namespace
