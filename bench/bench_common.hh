@@ -10,6 +10,11 @@
  *   --seed S           suite base seed
  *   --jobs N           sweep worker threads (0 = hardware concurrency,
  *                      1 = serial; results are bit-identical either way)
+ *   --trace-cache DIR  content-addressed trace store directory
+ *                      (default: the GHRP_TRACE_CACHE environment
+ *                      variable; traces are generated in memory when
+ *                      neither is set — results are identical, warm
+ *                      runs just skip regeneration)
  *   --leg-times        print the per-leg wall-time table
  *   --quiet            suppress progress and throughput reporting
  */
@@ -26,6 +31,7 @@
 #include "core/runner.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "workload/trace_store.hh"
 
 namespace ghrp::bench
 {
@@ -42,6 +48,7 @@ suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
     options.instructionOverride =
         cli.getUint("instructions", default_instructions);
     options.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
+    options.traceCacheDir = cli.getString("trace-cache", "");
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
     return options;
@@ -111,6 +118,17 @@ reportThroughput(const core::SuiteResults &results, unsigned jobs,
                  wall > 0 ? busy / wall : 0.0, busy, slowest, slow_trace,
                  slow_policy);
 
+    if (results.traceStoreEnabled)
+        std::fprintf(stderr,
+                     "[sweep] trace store: %llu hits, %llu misses, "
+                     "%llu persisted\n",
+                     static_cast<unsigned long long>(
+                         results.traceStore.hits),
+                     static_cast<unsigned long long>(
+                         results.traceStore.misses),
+                     static_cast<unsigned long long>(
+                         results.traceStore.stores));
+
     if (print_leg_times) {
         std::fprintf(stderr, "[sweep] per-leg wall time (seconds):\n");
         for (const auto &[policy, seconds] : results.legSeconds)
@@ -157,12 +175,15 @@ mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
 
     const unsigned n = jobs ? jobs : util::ThreadPool::hardwareJobs();
     std::vector<R> out(specs.size());
+    // Env-driven store (GHRP_TRACE_CACHE): warm custom sweeps skip
+    // trace regeneration just like core::runSuite does.
+    workload::TraceStore store;
     const auto start = std::chrono::steady_clock::now();
 
     if (n <= 1 || specs.size() <= 1) {
         for (std::size_t i = 0; i < specs.size(); ++i) {
             const trace::Trace tr =
-                workload::buildTrace(specs[i], instruction_override);
+                store.acquire(specs[i], instruction_override);
             out[i] = fn(specs[i], tr);
             if (logLevel() != LogLevel::Quiet)
                 std::fprintf(stderr, "\r[%3zu/%3zu traces]", i + 1,
@@ -175,7 +196,7 @@ mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
         for (std::size_t i = 0; i < specs.size(); ++i)
             futures.push_back(pool.submit([&, i]() {
                 const trace::Trace tr =
-                    workload::buildTrace(specs[i], instruction_override);
+                    store.acquire(specs[i], instruction_override);
                 out[i] = fn(specs[i], tr);
             }));
         for (std::size_t i = 0; i < futures.size(); ++i) {

@@ -1,18 +1,28 @@
 /**
  * @file
  * Micro-benchmark (google-benchmark): per-access software cost of each
- * replacement policy on the I-cache model, and of GHRP's prediction
- * primitives. These measure simulator overhead, not hardware latency —
- * the paper argues all GHRP operations are off the critical path.
+ * replacement policy on the I-cache model, of GHRP's prediction
+ * primitives, of the decoded-stream front-end path against the
+ * per-leg walker path, and of trace acquisition through the
+ * content-addressed store (cold generate-and-persist vs. warm mmap).
+ * These measure simulator overhead, not hardware latency — the paper
+ * argues all GHRP operations are off the critical path.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "cache/basic_policies.hh"
 #include "cache/cache.hh"
+#include "frontend/frontend.hh"
 #include "predictor/ghrp.hh"
 #include "predictor/sdbp.hh"
+#include "trace/decoded_trace.hh"
 #include "util/random.hh"
+#include "workload/suite.hh"
+#include "workload/trace_store.hh"
 
 namespace
 {
@@ -122,6 +132,135 @@ BM_GhrpVoteAndTrain(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GhrpVoteAndTrain);
+
+// ------------------------------------------------ decoded vs. walker
+
+/** One representative suite trace, kept modest so the benchmark loop
+ *  turns over in tens of milliseconds. */
+const trace::Trace &
+benchTrace()
+{
+    static const trace::Trace tr = [] {
+        const auto specs = workload::makeSuite(1, 42);
+        return workload::buildTrace(specs.front(), 500'000);
+    }();
+    return tr;
+}
+
+frontend::FrontendConfig
+benchConfig(frontend::PolicyKind policy)
+{
+    frontend::FrontendConfig cfg;
+    cfg.policy = policy;
+    return cfg;
+}
+
+/** Per-access cost of a full leg on the legacy walker path: every
+ *  iteration re-walks and re-classifies the record stream. */
+void
+BM_LegWalker(benchmark::State &state)
+{
+    const trace::Trace &tr = benchTrace();
+    const trace::DecodedTrace dec = trace::decodeTrace(tr, 64, 4);
+    for (auto _ : state) {
+        frontend::FrontendSim sim(benchConfig(frontend::PolicyKind::Ghrp));
+        benchmark::DoNotOptimize(sim.runWalker(tr));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dec.numFetchOps()));
+}
+BENCHMARK(BM_LegWalker)->Unit(benchmark::kMillisecond);
+
+/** Per-access cost of the same leg on the decode-once path: the stream
+ *  is decoded a single time outside the loop, as the suite runner does,
+ *  so each iteration is pure simulation. */
+void
+BM_LegDecoded(benchmark::State &state)
+{
+    const trace::DecodedTrace dec = trace::decodeTrace(benchTrace(), 64, 4);
+    for (auto _ : state) {
+        frontend::FrontendSim sim(benchConfig(frontend::PolicyKind::Ghrp));
+        benchmark::DoNotOptimize(sim.run(dec));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dec.numFetchOps()));
+}
+BENCHMARK(BM_LegDecoded)->Unit(benchmark::kMillisecond);
+
+/** Decode-once path with the direction stream also pre-resolved (the
+ *  full configuration core::runSuite uses for every leg). */
+void
+BM_LegDecodedPreResolved(benchmark::State &state)
+{
+    trace::DecodedTrace dec = trace::decodeTrace(benchTrace(), 64, 4);
+    frontend::resolveDirectionStream(
+        dec, frontend::DirectionKind::HashedPerceptron);
+    for (auto _ : state) {
+        frontend::FrontendSim sim(benchConfig(frontend::PolicyKind::Ghrp));
+        benchmark::DoNotOptimize(sim.run(dec));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(dec.numFetchOps()));
+}
+BENCHMARK(BM_LegDecodedPreResolved)->Unit(benchmark::kMillisecond);
+
+/** Cost of the decode itself (amortised once over all legs of a
+ *  trace). */
+void
+BM_DecodeTrace(benchmark::State &state)
+{
+    const trace::Trace &tr = benchTrace();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace::decodeTrace(tr, 64, 4));
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            static_cast<std::int64_t>(tr.records.size()));
+}
+BENCHMARK(BM_DecodeTrace)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- trace store
+
+/** Scratch store directory, cleaned up at exit. */
+const std::string &
+benchStoreDir()
+{
+    static const std::string dir = [] {
+        auto path = std::filesystem::temp_directory_path() /
+                    "ghrp-bench-trace-store";
+        std::filesystem::create_directories(path);
+        return path.string();
+    }();
+    return dir;
+}
+
+/** Cold acquire: the keyed file is removed every iteration, so each
+ *  acquire generates the trace and persists it. */
+void
+BM_TraceStoreCold(benchmark::State &state)
+{
+    const auto specs = workload::makeSuite(1, 42);
+    workload::TraceStore store(benchStoreDir());
+    for (auto _ : state) {
+        std::remove(store.pathFor(specs.front(), 500'000).c_str());
+        benchmark::DoNotOptimize(
+            store.acquireDecoded(specs.front(), 500'000, 64, 4));
+    }
+}
+BENCHMARK(BM_TraceStoreCold)->Unit(benchmark::kMillisecond);
+
+/** Warm acquire: every iteration decodes straight from the mmap-backed
+ *  file persisted by the first. */
+void
+BM_TraceStoreWarm(benchmark::State &state)
+{
+    const auto specs = workload::makeSuite(1, 42);
+    workload::TraceStore store(benchStoreDir());
+    benchmark::DoNotOptimize(
+        store.acquireDecoded(specs.front(), 500'000, 64, 4));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            store.acquireDecoded(specs.front(), 500'000, 64, 4));
+}
+BENCHMARK(BM_TraceStoreWarm)->Unit(benchmark::kMillisecond);
 
 } // anonymous namespace
 

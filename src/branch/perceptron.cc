@@ -32,25 +32,33 @@ HashedPerceptron::HashedPerceptron(const PerceptronConfig &config)
     tables.assign(cfg.historyLengths.size(),
                   std::vector<std::int16_t>(cfg.tableEntries, 0));
     prevIndices.assign(cfg.historyLengths.size(), 0);
+
+    // Hoist everything that only depends on the configuration out of
+    // the per-prediction loop: this indexing runs twice per history
+    // table for every conditional branch and dominated sweep profiles.
+    foldBits = floorLog2(cfg.tableEntries) + 3;
+    foldMask = mask(foldBits);
+    lenMasks.reserve(cfg.historyLengths.size());
+    tableMuls.reserve(cfg.historyLengths.size());
+    for (std::size_t t = 0; t < cfg.historyLengths.size(); ++t) {
+        lenMasks.push_back(mask(cfg.historyLengths[t]));
+        tableMuls.push_back(0x2545F4914F6CDD1Dull + 2 * t);
+    }
 }
 
 std::uint32_t
 HashedPerceptron::tableIndex(std::size_t table, Addr pc) const
 {
-    const unsigned idx_bits = floorLog2(cfg.tableEntries);
-    const unsigned len = cfg.historyLengths[table];
-    const std::uint64_t pc_hash = pc >> 2;
-
-    std::uint64_t h = pc_hash;
-    if (len > 0) {
-        const std::uint64_t outcome_seg = outcomeHistory & mask(len);
-        const std::uint64_t path_seg = pathHistory & mask(len);
+    std::uint64_t h = pc >> 2;
+    if (lenMasks[table] != 0) {
+        const std::uint64_t outcome_seg = outcomeHistory & lenMasks[table];
+        const std::uint64_t path_seg = pathHistory & lenMasks[table];
         // Merge gshare-style outcome history and path history; a
         // per-table odd multiplier skews the tables against each other.
-        h ^= foldXor(outcome_seg, idx_bits + 3);
-        h ^= foldXor(path_seg * 0x9E3779B97F4A7C15ull, idx_bits + 3);
+        h ^= foldHistory(outcome_seg);
+        h ^= foldHistory(path_seg * 0x9E3779B97F4A7C15ull);
     }
-    h *= 0x2545F4914F6CDD1Dull + 2 * table;
+    h *= tableMuls[table];
     return static_cast<std::uint32_t>((h >> 13) & (cfg.tableEntries - 1));
 }
 

@@ -48,11 +48,36 @@ class HashedPerceptron : public DirectionPredictor
   private:
     std::uint32_t tableIndex(std::size_t table, Addr pc) const;
 
+    /**
+     * foldXor(v, foldBits) with the iteration count fixed at
+     * construction: xor-folding zero high chunks is a no-op, so
+     * running the loop to 64 bits unconditionally gives the same
+     * result as the early-exit reference while staying branch-free —
+     * this runs twice per table per prediction.
+     */
+    std::uint64_t
+    foldHistory(std::uint64_t v) const
+    {
+        if (foldBits >= 64)
+            return v;
+        std::uint64_t folded = 0;
+        for (unsigned s = 0; s < 64; s += foldBits)
+            folded ^= (v >> s) & foldMask;
+        return folded;
+    }
+
     PerceptronConfig cfg;
     std::int32_t trainTheta;
     std::int32_t weightMin;
     std::int32_t weightMax;
     std::vector<std::vector<std::int16_t>> tables;
+
+    // Hoisted per-table constants (all derivable from cfg; computed
+    // once so the per-prediction loop is pure arithmetic).
+    unsigned foldBits = 0;               ///< idx_bits + 3
+    std::uint64_t foldMask = 0;          ///< mask(foldBits)
+    std::vector<std::uint64_t> lenMasks; ///< mask(historyLengths[t])
+    std::vector<std::uint64_t> tableMuls;
 
     std::uint64_t outcomeHistory = 0; ///< global direction history
     std::uint64_t pathHistory = 0;    ///< folded path of branch PCs

@@ -93,18 +93,26 @@ class CacheModel
         outcome.set = info.set;
 
         // --- lookup --------------------------------------------------
+        // The scan loop stays free of side effects (payload store,
+        // tracker dispatch) so the compiler keeps it a tight tag
+        // compare; hit bookkeeping happens once, after the scan.
         Line *line_set = &lines[static_cast<std::size_t>(info.set) * ways];
+        std::uint32_t hit_way = ways;
         for (std::uint32_t w = 0; w < ways; ++w) {
             if (line_set[w].valid && line_set[w].tag == tag) {
-                outcome.hit = true;
-                outcome.way = w;
-                line_set[w].payload = payload;
-                stats.recordHit();
-                repl->onHit(info, w);
-                if (tracker)
-                    tracker->onHit(info.set, w, tick);
-                return outcome;
+                hit_way = w;
+                break;
             }
+        }
+        if (hit_way != ways) {
+            outcome.hit = true;
+            outcome.way = hit_way;
+            line_set[hit_way].payload = payload;
+            stats.recordHit();
+            repl->onHit(info, hit_way);
+            if (tracker)
+                tracker->onHit(info.set, hit_way, tick);
+            return outcome;
         }
 
         // --- miss ----------------------------------------------------
@@ -115,35 +123,18 @@ class CacheModel
         }
         stats.recordMiss(false);
 
-        // Prefer an invalid frame.
-        std::uint32_t victim = ways;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (!line_set[w].valid) {
-                victim = w;
-                break;
-            }
-        }
-        if (victim == ways) {
-            victim = repl->chooseVictim(info);
-            GHRP_ASSERT(victim < ways);
-            outcome.evicted = true;
-            outcome.victimWasDead = repl->lastVictimWasDead();
-            outcome.victimAddress = line_set[victim].tag << blockShift;
-            ++stats.evictions;
-            if (outcome.victimWasDead)
-                ++stats.deadEvictions;
-            repl->onEvict(info, victim, outcome.victimAddress);
-            if (tracker)
-                tracker->onEvict(info.set, victim, tick);
-        }
+        const VictimChoice victim = claimFrame(line_set, info, tick);
+        outcome.evicted = victim.evicted;
+        outcome.victimWasDead = victim.wasDead;
+        outcome.victimAddress = victim.victimAddress;
 
-        line_set[victim].valid = true;
-        line_set[victim].tag = tag;
-        line_set[victim].payload = payload;
-        outcome.way = victim;
-        repl->onFill(info, victim);
+        line_set[victim.way].valid = true;
+        line_set[victim.way].tag = tag;
+        line_set[victim.way].payload = payload;
+        outcome.way = victim.way;
+        repl->onFill(info, victim.way);
         if (tracker)
-            tracker->onFill(info.set, victim, tick);
+            tracker->onFill(info.set, victim.way, tick);
         return outcome;
     }
 
@@ -169,29 +160,17 @@ class CacheModel
         if (repl->shouldBypass(info))
             return false;
 
-        std::uint32_t victim = ways;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (!line_set[w].valid) {
-                victim = w;
-                break;
-            }
-        }
-        if (victim == ways) {
-            victim = repl->chooseVictim(info);
-            GHRP_ASSERT(victim < ways);
-            ++stats.evictions;
-            if (repl->lastVictimWasDead())
-                ++stats.deadEvictions;
-            repl->onEvict(info, victim, line_set[victim].tag << blockShift);
-            if (tracker)
-                tracker->onEvict(info.set, victim, tick);
-        }
-        line_set[victim].valid = true;
-        line_set[victim].tag = tag;
-        line_set[victim].payload = Payload{};
-        repl->onFill(info, victim);
+        // Same victim-selection sequence as the demand path, via the
+        // shared helper: dead-eviction state (lastVictimWasDead read
+        // between chooseVictim and onEvict) and the eviction counters
+        // are reported consistently for demand fills and prefetches.
+        const VictimChoice victim = claimFrame(line_set, info, tick);
+        line_set[victim.way].valid = true;
+        line_set[victim.way].tag = tag;
+        line_set[victim.way].payload = Payload{};
+        repl->onFill(info, victim.way);
         if (tracker)
-            tracker->onFill(info.set, victim, tick);
+            tracker->onFill(info.set, victim.way, tick);
         ++prefetchFillCount;
         return true;
     }
@@ -254,6 +233,47 @@ class CacheModel
         Addr tag = 0;
         Payload payload{};
     };
+
+    /** Outcome of claiming a frame for a fill. */
+    struct VictimChoice
+    {
+        std::uint32_t way = 0;
+        bool evicted = false;       ///< a valid block was displaced
+        bool wasDead = false;       ///< victim chosen by dead prediction
+        Addr victimAddress = 0;     ///< valid when evicted
+    };
+
+    /**
+     * Claim a frame in @p line_set for a fill: an invalid frame when
+     * one exists, else the policy's victim. The eviction sequence —
+     * chooseVictim, then lastVictimWasDead, then the eviction counters,
+     * then onEvict and the tracker callback — is the single definition
+     * shared by access() and prefetch(), so dead-eviction accounting
+     * cannot drift between the demand and prefetch paths.
+     */
+    VictimChoice
+    claimFrame(Line *line_set, const AccessInfo &info, std::uint64_t tick)
+    {
+        VictimChoice choice;
+        for (std::uint32_t w = 0; w < ways; ++w) {
+            if (!line_set[w].valid) {
+                choice.way = w;
+                return choice;
+            }
+        }
+        choice.way = repl->chooseVictim(info);
+        GHRP_ASSERT(choice.way < ways);
+        choice.evicted = true;
+        choice.wasDead = repl->lastVictimWasDead();
+        choice.victimAddress = line_set[choice.way].tag << blockShift;
+        ++stats.evictions;
+        if (choice.wasDead)
+            ++stats.deadEvictions;
+        repl->onEvict(info, choice.way, choice.victimAddress);
+        if (tracker)
+            tracker->onEvict(info.set, choice.way, tick);
+        return choice;
+    }
 
     CacheConfig cfg;
     std::unique_ptr<ReplacementPolicy> repl;

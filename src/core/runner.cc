@@ -134,17 +134,19 @@ class SweepSink
         }
     }
 
-    /** Simulate one (trace, policy) leg and store it in its slot. */
+    /** Simulate one (trace, policy) leg and store it in its slot. The
+     *  decoded stream is immutable and shared by every leg of its
+     *  trace — decoding happened exactly once, upstream. */
     void
     runLeg(std::size_t trace_index, frontend::PolicyKind policy,
-           const trace::Trace &tr)
+           const trace::DecodedTrace &dec)
     {
         frontend::FrontendConfig config = options.base;
         config.policy = policy;
 
         const auto start = std::chrono::steady_clock::now();
         frontend::FrontendResult result =
-            frontend::simulateTrace(config, tr);
+            frontend::simulateDecoded(config, dec);
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
 
@@ -184,57 +186,69 @@ class SweepSink
 /** Serial reference path: same slot discipline, no threads. */
 void
 runSerial(SweepSink &sink, const SuiteResults &out,
-          const SuiteOptions &options)
+          const SuiteOptions &options, workload::TraceStore &store)
 {
     for (std::size_t i = 0; i < out.specs.size(); ++i) {
-        // Generate the trace once and reuse it for every policy so the
-        // comparison is paired (identical access streams).
-        const trace::Trace tr =
-            workload::buildTrace(out.specs[i], options.instructionOverride);
+        // Acquire and decode the trace once and reuse the stream for
+        // every policy so the comparison is paired (identical access
+        // streams) and the decode cost is paid once, not per leg. The
+        // direction predictor is policy-independent, so its stream is
+        // resolved here too instead of once per leg.
+        trace::DecodedTrace dec = store.acquireDecoded(
+            out.specs[i], options.instructionOverride,
+            options.base.icache.blockBytes, options.base.instBytes);
+        frontend::resolveDirectionStream(dec, options.base.direction);
         for (frontend::PolicyKind policy : options.policies)
-            sink.runLeg(i, policy, tr);
+            sink.runLeg(i, policy, dec);
     }
 }
 
 /**
  * Parallel path: every (trace, policy) leg is an independent pool job.
- * The trace for leg (i, *) is built by a per-trace job and shared by
- * that trace's legs via shared_ptr; builds run at most `window` traces
- * ahead of the harvest cursor so memory stays bounded on large suites.
+ * The decoded stream for leg (i, *) is produced by a per-trace job
+ * (store lookup or generation, then one decode) and shared read-only
+ * by that trace's legs via shared_ptr; builds run at most `window`
+ * traces ahead of the harvest cursor so memory stays bounded on large
+ * suites.
  */
 void
 runParallel(SweepSink &sink, const SuiteResults &out,
-            const SuiteOptions &options, util::ThreadPool &pool)
+            const SuiteOptions &options, workload::TraceStore &store,
+            util::ThreadPool &pool)
 {
-    using TracePtr = std::shared_ptr<const trace::Trace>;
+    using DecodedPtr = std::shared_ptr<const trace::DecodedTrace>;
 
     const std::size_t num_traces = out.specs.size();
     const std::size_t window =
         std::max<std::size_t>(2 * static_cast<std::size_t>(pool.size()), 4);
 
-    std::vector<std::future<TracePtr>> builds(num_traces);
+    std::vector<std::future<DecodedPtr>> builds(num_traces);
     std::vector<std::vector<std::future<void>>> legs(num_traces);
 
     std::size_t next_build = 0;
     const auto pump = [&](std::size_t upto) {
         for (; next_build < std::min(upto, num_traces); ++next_build) {
             const workload::TraceSpec &spec = out.specs[next_build];
-            builds[next_build] = pool.submit([&spec, &options]() {
-                return std::make_shared<const trace::Trace>(
-                    workload::buildTrace(spec,
-                                         options.instructionOverride));
+            builds[next_build] = pool.submit([&spec, &options, &store]() {
+                auto dec = std::make_shared<trace::DecodedTrace>(
+                    store.acquireDecoded(spec, options.instructionOverride,
+                                         options.base.icache.blockBytes,
+                                         options.base.instBytes));
+                frontend::resolveDirectionStream(*dec,
+                                                 options.base.direction);
+                return DecodedPtr(std::move(dec));
             });
         }
     };
 
     pump(window);
     for (std::size_t i = 0; i < num_traces; ++i) {
-        const TracePtr tr = builds[i].get();  // rethrows build errors
+        const DecodedPtr dec = builds[i].get();  // rethrows build errors
         builds[i] = {};
         legs[i].reserve(options.policies.size());
         for (frontend::PolicyKind policy : options.policies)
-            legs[i].push_back(pool.submit([&sink, i, policy, tr]() {
-                sink.runLeg(i, policy, *tr);
+            legs[i].push_back(pool.submit([&sink, i, policy, dec]() {
+                sink.runLeg(i, policy, *dec);
             }));
         // Keep at most `window` traces with outstanding legs before
         // opening new builds, then harvest (and rethrow from) the
@@ -259,22 +273,25 @@ runSuite(const SuiteOptions &options, const ProgressFn &progress)
     out.specs = workload::makeSuite(options.numTraces, options.baseSeed);
 
     SweepSink sink(out, options, progress);
+    workload::TraceStore store(options.traceCacheDir);
     const unsigned jobs =
         options.jobs ? options.jobs : util::ThreadPool::hardwareJobs();
 
     const auto start = std::chrono::steady_clock::now();
     if (jobs <= 1 || out.specs.size() * options.policies.size() <= 1) {
-        runSerial(sink, out, options);
+        runSerial(sink, out, options, store);
     } else {
         // Destroyed before `out` and `sink`, so no job outlives the
         // state it references even on exception unwind.
         util::ThreadPool pool(jobs);
-        runParallel(sink, out, options, pool);
+        runParallel(sink, out, options, store, pool);
     }
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)
             .count();
+    out.traceStore = store.stats();
+    out.traceStoreEnabled = store.enabled();
     return out;
 }
 

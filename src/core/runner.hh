@@ -18,6 +18,7 @@
 #include "frontend/frontend.hh"
 #include "stats/confidence.hh"
 #include "workload/suite.hh"
+#include "workload/trace_store.hh"
 
 namespace ghrp::core
 {
@@ -45,6 +46,15 @@ struct SuiteOptions
      * simulation nor the aggregation order depends on scheduling.
      */
     unsigned jobs = 0;
+
+    /**
+     * Directory for the content-addressed trace store. Empty falls back
+     * to the GHRP_TRACE_CACHE environment variable; if that is also
+     * unset the store is disabled and every trace is generated in
+     * memory. Results are bit-identical either way — the store only
+     * skips regeneration of traces it has already seen.
+     */
+    std::string traceCacheDir;
 };
 
 /** All results of a suite run. */
@@ -55,12 +65,17 @@ struct SuiteResults
     std::map<frontend::PolicyKind, std::vector<frontend::FrontendResult>>
         results;
 
-    /** Wall-clock seconds each leg spent in simulateTrace():
-     *  legSeconds[policy][trace index]. Timing only — excluded from
-     *  the determinism guarantee. */
+    /** Wall-clock seconds each leg spent simulating its decoded
+     *  stream: legSeconds[policy][trace index]. Timing only — excluded
+     *  from the determinism guarantee. */
     std::map<frontend::PolicyKind, std::vector<double>> legSeconds;
     /** End-to-end wall-clock seconds for the whole sweep. */
     double wallSeconds = 0.0;
+
+    /** Trace-store traffic for this run (zeros when disabled). */
+    workload::TraceStore::Stats traceStore;
+    /** Whether a trace store directory was in effect. */
+    bool traceStoreEnabled = false;
 
     /** Number of (trace, policy) legs simulated. */
     std::size_t totalLegs() const;
@@ -115,13 +130,16 @@ using ProgressFn =
     std::function<void(std::size_t, std::size_t, const std::string &)>;
 
 /**
- * Run the full suite: for each trace spec, generate the trace once and
- * simulate it under every requested policy.
+ * Run the full suite: for each trace spec, acquire the trace (from the
+ * content-addressed store when enabled, generating otherwise), decode
+ * it once into the compact fetch-op stream, and simulate that shared
+ * read-only stream under every requested policy.
  *
  * With options.jobs != 1 the (trace, policy) legs run on a
- * work-stealing thread pool. Trace generation is bounded to a sliding
- * window of roughly 2 x jobs traces ahead of the slowest outstanding
- * leg, so a 662-trace sweep never holds the whole suite in memory.
+ * work-stealing thread pool. Trace acquisition + decoding is bounded
+ * to a sliding window of roughly 2 x jobs traces ahead of the slowest
+ * outstanding leg, so a 662-trace sweep never holds the whole suite in
+ * memory.
  * The progress callback is serialised (never invoked concurrently),
  * but completion order is scheduling-dependent; only the *results* are
  * deterministic. Exceptions thrown by a leg are rethrown here.

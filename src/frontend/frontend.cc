@@ -67,20 +67,6 @@ parsePolicy(const std::string &name)
 namespace
 {
 
-/** Fast instruction count of a trace (no per-block visits). */
-std::uint64_t
-countInstructions(const trace::Trace &tr, std::uint32_t inst_bytes)
-{
-    Addr fetch_pc = tr.entryPc;
-    std::uint64_t instructions = 0;
-    for (const trace::BranchRecord &rec : tr.records) {
-        const Addr pc = rec.pc < fetch_pc ? fetch_pc : rec.pc;
-        instructions += (pc - fetch_pc) / inst_bytes + 1;
-        fetch_pc = rec.taken ? rec.target : pc + inst_bytes;
-    }
-    return instructions;
-}
-
 std::unique_ptr<branch::DirectionPredictor>
 makeDirection(DirectionKind kind)
 {
@@ -172,13 +158,178 @@ FrontendSim::FrontendSim(const FrontendConfig &config) : cfg(config)
 FrontendSim::~FrontendSim() = default;
 
 FrontendResult
+FrontendSim::run(const trace::DecodedTrace &dec)
+{
+    // The decoded stream bakes in the fetch granularity; a mismatched
+    // configuration would silently simulate the wrong block stream.
+    GHRP_ASSERT(dec.blockBytes == cfg.icache.blockBytes);
+    GHRP_ASSERT(dec.instBytes == cfg.instBytes);
+
+    FrontendResult result;
+    result.traceName = dec.name;
+    result.policy = policyName(cfg.policy);
+
+    result.totalInstructions = dec.totalInstructions();
+    result.warmupInstructions = std::min<std::uint64_t>(
+        static_cast<std::uint64_t>(
+            cfg.warmupFraction *
+            static_cast<double>(result.totalInstructions)),
+        cfg.warmupCapInstructions);
+
+    bool warm = result.warmupInstructions == 0;
+    const Addr block_mask = ~static_cast<Addr>(cfg.icache.blockBytes - 1);
+    const std::size_t n = dec.numRecords();
+    // A pre-resolved direction stream replaces the per-leg predictor
+    // simulation when it was resolved with this leg's predictor kind;
+    // otherwise the predictor runs live (identical results, more work).
+    const bool pre_resolved =
+        dec.hasDirectionStream() &&
+        dec.directionKind == static_cast<int>(cfg.direction);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // ---- fetch ops of the run ending at this branch ------------
+        // Fetch-buffer coalescing already happened at decode time; every
+        // op here is a real I-cache access.
+        const std::uint64_t op_end = dec.opBegin[i + 1];
+        for (std::uint64_t op = dec.opBegin[i]; op < op_end; ++op) {
+            const Addr fetch_pc = dec.fetchPc[op];
+            const Addr block_addr = fetch_pc & block_mask;
+            const cache::AccessOutcome out =
+                icache->access(block_addr, fetch_pc);
+            if (!out.hit && cfg.nextLinePrefetch > 0) {
+                for (std::uint32_t p = 1; p <= cfg.nextLinePrefetch; ++p)
+                    icache->prefetch(
+                        block_addr +
+                            static_cast<Addr>(p) * cfg.icache.blockBytes,
+                        fetch_pc);
+            }
+            if (ghrpPredictor) {
+                // The fetch-address stream updates both the speculative
+                // and the retired path history; in a trace-driven model
+                // fetch and commit coincide.
+                ghrpPredictor->updateSpecHistory(fetch_pc);
+                ghrpPredictor->updateRetiredHistory(fetch_pc);
+            }
+        }
+
+        const Addr pc = dec.brPc[i];
+        const Addr target = dec.brTarget[i];
+        const std::uint8_t meta = dec.brMeta[i];
+        const bool taken = trace::branch_meta::taken(meta);
+
+        // ---- direction prediction ----------------------------------
+        if (trace::branch_meta::conditional(meta)) {
+            ++result.condBranches;
+            bool predicted;
+            if (pre_resolved) {
+                predicted = dec.dirPredictedTaken[i] != 0;
+            } else {
+                predicted = direction->predict(pc);
+                direction->update(pc, taken);
+            }
+            const bool mispredicted = predicted != taken;
+            if (mispredicted)
+                ++result.condMispredicts;
+
+            if (mispredicted && ghrpPredictor) {
+                // Model wrong-path pollution of the speculative history
+                // and its recovery from the retired history.
+                const Addr wrong_base =
+                    predicted ? target : pc + cfg.instBytes;
+                for (std::uint32_t w = 0; w < cfg.wrongPathNoise; ++w)
+                    ghrpPredictor->updateSpecHistory(
+                        wrong_base + static_cast<Addr>(w) * cfg.instBytes);
+                if (cfg.recoverGhrpHistory)
+                    ghrpPredictor->recoverHistory();
+            }
+        }
+
+        // ---- BTB and RAS -------------------------------------------
+        if (taken) {
+            if (trace::branch_meta::isReturn(meta) && cfg.useRas) {
+                ++result.rasReturns;
+                if (ras.pop() != target)
+                    ++result.rasMispredicts;
+            } else {
+                // Indirect target prediction: the indirect predictor
+                // (when attached) overrides the BTB's last-seen target.
+                if (trace::branch_meta::indirect(meta)) {
+                    ++result.indirectBranches;
+                    std::optional<Addr> predicted;
+                    if (indirect)
+                        predicted = indirect->predict(pc);
+                    if (!predicted)
+                        predicted = btb->predictTarget(pc);
+                    if (!predicted || *predicted != target)
+                        ++result.indirectMispredicts;
+                    if (indirect)
+                        indirect->update(pc, target);
+                }
+                const branch::BtbResult br = btb->accessTaken(pc, target);
+                if (br.hit && !br.targetMatched)
+                    ++result.btbTargetMismatches;
+            }
+        }
+        if (trace::branch_meta::call(meta) && taken && cfg.useRas)
+            ras.push(pc + cfg.instBytes);
+
+        // ---- warm-up boundary ---------------------------------------
+        if (!warm &&
+            dec.cumInstructions[i] >= result.warmupInstructions) {
+            warm = true;
+            icache->resetStats();
+            btb->resetStats();
+            result.condBranches = 0;
+            result.condMispredicts = 0;
+            result.btbTargetMismatches = 0;
+            result.rasReturns = 0;
+            result.rasMispredicts = 0;
+            result.indirectBranches = 0;
+            result.indirectMispredicts = 0;
+        }
+    }
+
+    result.measuredInstructions =
+        result.totalInstructions >= result.warmupInstructions
+            ? result.totalInstructions - result.warmupInstructions
+            : 0;
+    result.icache = icache->accessStats();
+    result.btb = btb->accessStats();
+    result.icacheMpki = result.icache.mpki(result.measuredInstructions);
+    result.btbMpki = result.btb.mpki(result.measuredInstructions);
+
+    if (icacheEff)
+        icacheEff->finalize(icache->ticks());
+    if (btbEff)
+        btbEff->finalize(btb->cacheModel().ticks());
+
+    return result;
+}
+
+FrontendResult
 FrontendSim::run(const trace::Trace &tr)
+{
+    return run(trace::decodeTrace(tr, cfg.icache.blockBytes,
+                                  cfg.instBytes));
+}
+
+FrontendResult
+FrontendSim::runWalker(const trace::Trace &tr)
 {
     FrontendResult result;
     result.traceName = tr.name;
     result.policy = policyName(cfg.policy);
 
-    result.totalInstructions = countInstructions(tr, cfg.instBytes);
+    // One counting pre-pass through the canonical walker (rather than a
+    // third, hand-rolled reimplementation of the fetch-run arithmetic)
+    // gives the total needed to place the warm-up boundary.
+    {
+        trace::FetchStreamWalker counter(
+            tr.entryPc, cfg.icache.blockBytes, cfg.instBytes);
+        for (const trace::BranchRecord &rec : tr.records)
+            counter.advance(rec, [](Addr) {});
+        result.totalInstructions = counter.instructionCount();
+    }
     result.warmupInstructions = std::min<std::uint64_t>(
         static_cast<std::uint64_t>(
             cfg.warmupFraction *
@@ -310,6 +461,34 @@ simulateTrace(const FrontendConfig &config, const trace::Trace &tr)
 {
     FrontendSim sim(config);
     return sim.run(tr);
+}
+
+FrontendResult
+simulateDecoded(const FrontendConfig &config,
+                const trace::DecodedTrace &decoded)
+{
+    FrontendSim sim(config);
+    return sim.run(decoded);
+}
+
+void
+resolveDirectionStream(trace::DecodedTrace &dec, DirectionKind kind)
+{
+    const std::size_t n = dec.numRecords();
+    std::vector<std::uint8_t> pred(n, 0);
+    // Feed the predictor exactly the sequence a leg would: predict then
+    // update, conditional branches only.
+    const std::unique_ptr<branch::DirectionPredictor> direction =
+        makeDirection(kind);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t meta = dec.brMeta[i];
+        if (!trace::branch_meta::conditional(meta))
+            continue;
+        pred[i] = direction->predict(dec.brPc[i]) ? 1 : 0;
+        direction->update(dec.brPc[i], trace::branch_meta::taken(meta));
+    }
+    dec.dirPredictedTaken = std::move(pred);
+    dec.directionKind = static_cast<int>(kind);
 }
 
 } // namespace ghrp::frontend

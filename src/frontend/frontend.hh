@@ -24,6 +24,7 @@
 #include "predictor/ship.hh"
 #include "stats/efficiency.hh"
 #include "trace/branch_record.hh"
+#include "trace/decoded_trace.hh"
 
 namespace ghrp::frontend
 {
@@ -166,8 +167,26 @@ class FrontendSim
     explicit FrontendSim(const FrontendConfig &config);
     ~FrontendSim();
 
-    /** Simulate one trace and return the post-warm-up statistics. */
+    /**
+     * Simulate one decoded fetch-op stream and return the post-warm-up
+     * statistics. This is the hot path: no fetch-stream walking, no
+     * per-block callback dispatch and no separate instruction-count
+     * pass — all of that happened once, in decodeTrace(). The decode
+     * granularity must match the configuration (asserted).
+     */
+    FrontendResult run(const trace::DecodedTrace &decoded);
+
+    /** Simulate one trace: decodes once, then runs the decoded path. */
     FrontendResult run(const trace::Trace &trace);
+
+    /**
+     * Reference implementation: replay the branch records through
+     * FetchStreamWalker directly, exactly as the simulator did before
+     * the decode-once layer. Kept as an independently-coded oracle for
+     * the differential tests and the decode-overhead benchmark; results
+     * are bit-identical to run() on any trace.
+     */
+    FrontendResult runWalker(const trace::Trace &trace);
 
     /** Heat-map trackers (non-null only when trackEfficiency). */
     stats::EfficiencyTracker *icacheTracker() { return icacheEff.get(); }
@@ -198,6 +217,24 @@ class FrontendSim
  */
 FrontendResult simulateTrace(const FrontendConfig &config,
                              const trace::Trace &trace);
+
+/**
+ * Convenience: simulate a pre-decoded stream under @p config. Use this
+ * when several policy legs share one trace — decode once, run many.
+ */
+FrontendResult simulateDecoded(const FrontendConfig &config,
+                               const trace::DecodedTrace &decoded);
+
+/**
+ * Resolve the direction-predictor stream of @p dec once: run the
+ * @p kind predictor over the conditional-branch sequence and store the
+ * per-record predicted-taken bit in the decoded trace. Legs configured
+ * with the same predictor kind then read the bit instead of
+ * re-simulating the predictor — the predictor only ever observes the
+ * branch records, so the bits are exactly what a live predictor would
+ * produce and simulation results are unchanged.
+ */
+void resolveDirectionStream(trace::DecodedTrace &dec, DirectionKind kind);
 
 } // namespace ghrp::frontend
 

@@ -8,6 +8,11 @@ namespace ghrp::predictor
 SdbpReplacement::SdbpReplacement(const SdbpConfig &config)
     : cfg(config), bank(cfg.tableEntries, cfg.counterBits)
 {
+    // The partial-PC signature space is only 2^signatureBits wide:
+    // precompute every signature's skewed table indices once. Wider
+    // (unusual) configurations fall back to live index computation.
+    if (cfg.signatureBits <= 16)
+        bank.enableIndexCache(1u << cfg.signatureBits);
 }
 
 void
@@ -38,7 +43,7 @@ SdbpReplacement::samplerTag(Addr addr) const
 bool
 SdbpReplacement::predictDead(std::uint16_t sig) const
 {
-    return bank.sumVote(bank.computeIndices(sig), cfg.deadThreshold);
+    return bank.sumVote(bank.indicesFor(sig), cfg.deadThreshold);
 }
 
 void
@@ -60,7 +65,7 @@ SdbpReplacement::sampleAccess(const cache::AccessInfo &info)
         if (entry.valid && entry.tag == tag) {
             // Reuse: the signature of the previous access to this
             // block did not lead to a dead block.
-            bank.train(bank.computeIndices(entry.signature), false);
+            bank.train(bank.indicesFor(entry.signature), false);
             entry.signature = sig;
             samplerLru.touch(set, w);
             return;
@@ -78,7 +83,7 @@ SdbpReplacement::sampleAccess(const cache::AccessInfo &info)
     }
     if (victim == ways) {
         victim = samplerLru.lruWay(set);
-        bank.train(bank.computeIndices(sampler[index(set, victim)].signature),
+        bank.train(bank.indicesFor(sampler[index(set, victim)].signature),
                    true);
     }
     SamplerEntry &entry = sampler[index(set, victim)];
@@ -94,7 +99,7 @@ SdbpReplacement::shouldBypass(const cache::AccessInfo &info)
     sampleAccess(info);
     if (!cfg.bypassEnabled)
         return false;
-    return bank.sumVote(bank.computeIndices(partialPc(info.pc)),
+    return bank.sumVote(bank.indicesFor(partialPc(info.pc)),
                         cfg.bypassThreshold);
 }
 

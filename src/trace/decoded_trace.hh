@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Decode-once fetch-op stream: the per-record work the front-end used
+ * to redo for every policy leg — fetch-run reconstruction, fetch-buffer
+ * coalescing, branch-type classification and instruction counting — is
+ * performed once per trace and stored as a compact structure-of-arrays
+ * stream that every leg then consumes read-only.
+ *
+ * The decoded stream is exactly equivalent to walking the branch
+ * records through FetchStreamWalker with the front-end's coalescing
+ * rule: the differential tests assert bit-identical simulation results
+ * between the two paths for every policy.
+ */
+
+#ifndef GHRP_TRACE_DECODED_TRACE_HH
+#define GHRP_TRACE_DECODED_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/branch_record.hh"
+
+namespace ghrp::trace
+{
+
+class MappedTrace;
+
+/**
+ * Branch metadata packed into one byte per record: the raw type and
+ * taken bit plus the precomputed classification flags the simulation
+ * loop branches on, so the hot loop tests single bits instead of
+ * re-deriving the class from the type.
+ */
+namespace branch_meta
+{
+constexpr std::uint8_t typeMask = 0x07;     ///< bits 0..2: BranchType
+constexpr std::uint8_t takenBit = 1u << 3;
+constexpr std::uint8_t condBit = 1u << 4;   ///< isConditional(type)
+constexpr std::uint8_t indirectBit = 1u << 5; ///< isIndirect(type)
+constexpr std::uint8_t callBit = 1u << 6;   ///< isCall(type)
+constexpr std::uint8_t returnBit = 1u << 7; ///< type == Return
+
+/** Pack @p type and @p taken with their classification flags. */
+constexpr std::uint8_t
+pack(BranchType type, bool taken)
+{
+    std::uint8_t m = static_cast<std::uint8_t>(type) & typeMask;
+    if (taken)
+        m |= takenBit;
+    if (isConditional(type))
+        m |= condBit;
+    if (isIndirect(type))
+        m |= indirectBit;
+    if (isCall(type))
+        m |= callBit;
+    if (type == BranchType::Return)
+        m |= returnBit;
+    return m;
+}
+
+constexpr BranchType
+type(std::uint8_t meta)
+{
+    return static_cast<BranchType>(meta & typeMask);
+}
+
+constexpr bool taken(std::uint8_t m) { return (m & takenBit) != 0; }
+constexpr bool conditional(std::uint8_t m) { return (m & condBit) != 0; }
+constexpr bool indirect(std::uint8_t m) { return (m & indirectBit) != 0; }
+constexpr bool call(std::uint8_t m) { return (m & callBit) != 0; }
+constexpr bool isReturn(std::uint8_t m) { return (m & returnBit) != 0; }
+} // namespace branch_meta
+
+/**
+ * A branch trace decoded at a fixed (block size, instruction size)
+ * granularity. Built once per trace by decodeTrace() and shared
+ * read-only across all policy legs simulating that trace.
+ *
+ * Record i carries:
+ *   - brPc[i] / brTarget[i] / brMeta[i]: the branch itself;
+ *   - fetchPc[opBegin[i] .. opBegin[i+1]): the I-cache accesses of the
+ *     sequential fetch run ending at the branch, *after* fetch-buffer
+ *     coalescing (a run that stays within the previously fetched block
+ *     contributes no ops). Each op's block address is fetchPc & ~(
+ *     blockBytes - 1);
+ *   - cumInstructions[i]: dynamic instructions reconstructed up to and
+ *     including record i (the walker's running count), which gives the
+ *     warm-up boundary and the total without a second pass.
+ */
+struct DecodedTrace
+{
+    std::string name;
+    std::string category;
+    Addr entryPc = 0;
+
+    /** Decode granularity; legs must be configured to match. */
+    std::uint32_t blockBytes = 64;
+    std::uint32_t instBytes = 4;
+
+    /** Out-of-order records tolerated during decode (0 for generated
+     *  traces; mirrors FetchStreamWalker::resyncs()). */
+    std::uint64_t resyncs = 0;
+
+    std::vector<Addr> brPc;
+    std::vector<Addr> brTarget;
+    std::vector<std::uint8_t> brMeta;
+    std::vector<std::uint64_t> cumInstructions;
+
+    /** opBegin[i] .. opBegin[i+1] index record i's ops in fetchPc;
+     *  size numRecords() + 1, opBegin[0] == 0. */
+    std::vector<std::uint64_t> opBegin;
+    std::vector<Addr> fetchPc;
+
+    /**
+     * Optional pre-resolved direction stream. Like the fetch ops, the
+     * direction predictor's behaviour is a pure function of the branch
+     * record sequence — it never observes cache or BTB state — so its
+     * per-conditional-branch prediction can be resolved once per trace
+     * and shared across policy legs instead of re-simulating the
+     * predictor in every leg.
+     *
+     * directionKind holds the frontend::DirectionKind this stream was
+     * resolved with (as an int, to keep this layer below the frontend),
+     * or -1 when absent; dirPredictedTaken[i] is meaningful only for
+     * conditional records. Legs whose configured predictor does not
+     * match fall back to simulating the predictor live — results are
+     * bit-identical either way.
+     */
+    int directionKind = -1;
+    std::vector<std::uint8_t> dirPredictedTaken;
+
+    bool
+    hasDirectionStream() const
+    {
+        return directionKind >= 0 &&
+               dirPredictedTaken.size() == brPc.size();
+    }
+
+    std::size_t numRecords() const { return brPc.size(); }
+    std::size_t numFetchOps() const { return fetchPc.size(); }
+
+    /** Total reconstructed dynamic instruction count. */
+    std::uint64_t
+    totalInstructions() const
+    {
+        return cumInstructions.empty() ? 0 : cumInstructions.back();
+    }
+
+    /** Approximate resident size, for cache budgeting. */
+    std::size_t memoryBytes() const;
+};
+
+/**
+ * Decode @p trace at the given granularity (one pass; the only walk of
+ * the record stream the whole sweep performs).
+ */
+DecodedTrace decodeTrace(const Trace &trace, std::uint32_t block_bytes,
+                         std::uint32_t inst_bytes);
+
+/**
+ * Decode directly from an mmap-backed trace file without materializing
+ * a Trace: records are unpacked from the map as they are consumed.
+ */
+DecodedTrace decodeTrace(const MappedTrace &mapped,
+                         std::uint32_t block_bytes,
+                         std::uint32_t inst_bytes);
+
+} // namespace ghrp::trace
+
+#endif // GHRP_TRACE_DECODED_TRACE_HH

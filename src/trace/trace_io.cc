@@ -5,6 +5,14 @@
 
 #include "util/logging.hh"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define GHRP_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
 namespace ghrp::trace
 {
 
@@ -51,14 +59,44 @@ readString(std::ifstream &file, const std::string &path)
     return s;
 }
 
+/** Bounds-checked cursor over the mapped header bytes. */
+struct ByteCursor
+{
+    const unsigned char *data;
+    std::size_t length;
+    std::size_t pos = 0;
+
+    template <typename T>
+    bool
+    read(T &out)
+    {
+        if (length - pos < sizeof(T))
+            return false;
+        std::memcpy(&out, data + pos, sizeof(T));
+        pos += sizeof(T);
+        return true;
+    }
+
+    bool
+    readString(std::string &out)
+    {
+        std::uint32_t len = 0;
+        if (!read(len) || len > (1u << 20) || length - pos < len)
+            return false;
+        out.assign(reinterpret_cast<const char *>(data + pos), len);
+        pos += len;
+        return true;
+    }
+};
+
 } // anonymous namespace
 
-void
-writeTrace(const Trace &trace, const std::string &path)
+bool
+tryWriteTrace(const Trace &trace, const std::string &path)
 {
     std::ofstream file(path, std::ios::binary);
     if (!file)
-        fatal("cannot create trace file '%s'", path.c_str());
+        return false;
 
     file.write(traceMagic, sizeof(traceMagic));
     writeScalar<std::uint32_t>(file, traceFormatVersion);
@@ -73,8 +111,15 @@ writeTrace(const Trace &trace, const std::string &path)
         writeScalar<std::uint8_t>(file, static_cast<std::uint8_t>(rec.type));
         writeScalar<std::uint8_t>(file, rec.taken ? 1 : 0);
     }
-    if (!file)
-        fatal("error writing trace file '%s'", path.c_str());
+    file.flush();
+    return static_cast<bool>(file);
+}
+
+void
+writeTrace(const Trace &trace, const std::string &path)
+{
+    if (!tryWriteTrace(trace, path))
+        fatal("cannot write trace file '%s'", path.c_str());
 }
 
 Trace
@@ -112,6 +157,159 @@ readTrace(const std::string &path)
         rec.taken = readScalar<std::uint8_t>(file, path) != 0;
         trace.records.push_back(rec);
     }
+    return trace;
+}
+
+// --------------------------------------------------------- MappedTrace
+
+std::optional<MappedTrace>
+MappedTrace::tryOpen(const std::string &path)
+{
+    MappedTrace mt;
+
+#if GHRP_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return std::nullopt;
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || st.st_size <= 0) {
+        ::close(fd);
+        return std::nullopt;
+    }
+    const std::size_t len = static_cast<std::size_t>(st.st_size);
+    void *map = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map == MAP_FAILED)
+        return std::nullopt;
+    mt.base = static_cast<const unsigned char *>(map);
+    mt.length = len;
+    mt.mapped = true;
+#else
+    std::ifstream file(path, std::ios::binary | std::ios::ate);
+    if (!file)
+        return std::nullopt;
+    const std::streamoff size = file.tellg();
+    if (size <= 0)
+        return std::nullopt;
+    auto *buffer = new unsigned char[static_cast<std::size_t>(size)];
+    file.seekg(0);
+    file.read(reinterpret_cast<char *>(buffer),
+              static_cast<std::streamsize>(size));
+    if (!file) {
+        delete[] buffer;
+        return std::nullopt;
+    }
+    mt.base = buffer;
+    mt.length = static_cast<std::size_t>(size);
+    mt.mapped = false;
+#endif
+
+    // Parse and validate the header against the mapped length.
+    ByteCursor cur{mt.base, mt.length};
+    if (mt.length < sizeof(traceMagic) ||
+        std::memcmp(mt.base, traceMagic, sizeof(traceMagic)) != 0)
+        return std::nullopt; // mt's destructor unmaps
+    cur.pos = sizeof(traceMagic);
+
+    std::uint32_t version = 0;
+    if (!cur.read(version) || version != traceFormatVersion)
+        return std::nullopt;
+    if (!cur.read(mt.entry) || !cur.read(mt.nRecords) ||
+        !cur.readString(mt.traceName) || !cur.readString(mt.traceCategory))
+        return std::nullopt;
+    if ((mt.length - cur.pos) / traceRecordStride < mt.nRecords)
+        return std::nullopt; // truncated record array
+    mt.records = mt.base + cur.pos;
+
+    return mt;
+}
+
+MappedTrace
+MappedTrace::open(const std::string &path)
+{
+    auto mt = tryOpen(path);
+    if (!mt)
+        fatal("cannot map trace file '%s' (missing, corrupt, or wrong "
+              "version)", path.c_str());
+    return std::move(*mt);
+}
+
+MappedTrace::MappedTrace(MappedTrace &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+MappedTrace &
+MappedTrace::operator=(MappedTrace &&other) noexcept
+{
+    if (this != &other) {
+        release();
+        base = other.base;
+        length = other.length;
+        records = other.records;
+        mapped = other.mapped;
+        traceName = std::move(other.traceName);
+        traceCategory = std::move(other.traceCategory);
+        entry = other.entry;
+        nRecords = other.nRecords;
+        other.base = nullptr;
+        other.records = nullptr;
+        other.length = 0;
+        other.nRecords = 0;
+    }
+    return *this;
+}
+
+MappedTrace::~MappedTrace()
+{
+    release();
+}
+
+void
+MappedTrace::release() noexcept
+{
+    if (!base)
+        return;
+#if GHRP_HAVE_MMAP
+    if (mapped)
+        ::munmap(const_cast<unsigned char *>(base), length);
+    else
+        delete[] base;
+#else
+    delete[] base;
+#endif
+    base = nullptr;
+    records = nullptr;
+    length = 0;
+}
+
+BranchRecord
+MappedTrace::record(std::uint64_t i) const
+{
+    GHRP_ASSERT(i < nRecords);
+    const unsigned char *p = records + i * traceRecordStride;
+    BranchRecord rec;
+    std::memcpy(&rec.pc, p, sizeof(rec.pc));
+    std::memcpy(&rec.target, p + 8, sizeof(rec.target));
+    const std::uint8_t type = p[16];
+    if (type >= numBranchTypes)
+        fatal("corrupt branch type %u in mapped trace '%s'", type,
+              traceName.c_str());
+    rec.type = static_cast<BranchType>(type);
+    rec.taken = p[17] != 0;
+    return rec;
+}
+
+Trace
+MappedTrace::materialize() const
+{
+    Trace trace;
+    trace.name = traceName;
+    trace.category = traceCategory;
+    trace.entryPc = entry;
+    trace.records.reserve(nRecords);
+    for (std::uint64_t i = 0; i < nRecords; ++i)
+        trace.records.push_back(record(i));
     return trace;
 }
 

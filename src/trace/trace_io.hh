@@ -16,6 +16,8 @@
 #ifndef GHRP_TRACE_TRACE_IO_HH
 #define GHRP_TRACE_TRACE_IO_HH
 
+#include <cstddef>
+#include <optional>
 #include <string>
 
 #include "trace/branch_record.hh"
@@ -26,6 +28,9 @@ namespace ghrp::trace
 /** Current trace file format version. */
 constexpr std::uint32_t traceFormatVersion = 1;
 
+/** On-disk stride of one record: pc u64, target u64, type u8, taken u8. */
+constexpr std::size_t traceRecordStride = 18;
+
 /**
  * Write @p trace to @p path. Calls fatal() when the file cannot be
  * created or written.
@@ -33,10 +38,75 @@ constexpr std::uint32_t traceFormatVersion = 1;
 void writeTrace(const Trace &trace, const std::string &path);
 
 /**
+ * Write @p trace to @p path, reporting failure instead of dying: false
+ * when the file cannot be created or fully written (a partial file may
+ * be left behind — write to a temporary path and rename).
+ */
+bool tryWriteTrace(const Trace &trace, const std::string &path);
+
+/**
  * Read a trace from @p path. Calls fatal() on missing files, magic
  * mismatch, or version mismatch.
  */
 Trace readTrace(const std::string &path);
+
+/**
+ * Zero-copy view of a trace file: the file is mapped read-only (mmap
+ * on POSIX; a heap buffer fallback elsewhere) and records are unpacked
+ * lazily from the mapped bytes — no per-record heap allocation, no
+ * up-front copy of the record array. The header (name, category, entry
+ * PC, record count) is validated and parsed at open time.
+ *
+ * Move-only; the mapping lives as long as the object.
+ */
+class MappedTrace
+{
+  public:
+    /**
+     * Open @p path, returning std::nullopt on any problem: missing
+     * file, bad magic, version mismatch, or a size inconsistent with
+     * the header. Never calls fatal() — callers with a regeneration
+     * path (the trace store) treat every failure as a cache miss.
+     */
+    static std::optional<MappedTrace> tryOpen(const std::string &path);
+
+    /** Open @p path; fatal() with a reason on failure. */
+    static MappedTrace open(const std::string &path);
+
+    MappedTrace(MappedTrace &&other) noexcept;
+    MappedTrace &operator=(MappedTrace &&other) noexcept;
+    MappedTrace(const MappedTrace &) = delete;
+    MappedTrace &operator=(const MappedTrace &) = delete;
+    ~MappedTrace();
+
+    const std::string &name() const { return traceName; }
+    const std::string &category() const { return traceCategory; }
+    Addr entryPc() const { return entry; }
+    std::uint64_t numRecords() const { return nRecords; }
+
+    /** Unpack record @p i (no bounds check beyond the debug assert;
+     *  fatal() on a corrupt branch-type byte). */
+    BranchRecord record(std::uint64_t i) const;
+
+    /** Materialize the full in-memory Trace (used where a caller needs
+     *  the record vector rather than streaming access). */
+    Trace materialize() const;
+
+  private:
+    MappedTrace() = default;
+
+    void release() noexcept;
+
+    const unsigned char *base = nullptr; ///< start of file bytes
+    std::size_t length = 0;              ///< total mapped length
+    const unsigned char *records = nullptr; ///< record array start
+    bool mapped = false;                 ///< true: munmap, false: delete[]
+
+    std::string traceName;
+    std::string traceCategory;
+    Addr entry = 0;
+    std::uint64_t nRecords = 0;
+};
 
 } // namespace ghrp::trace
 

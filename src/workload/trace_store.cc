@@ -1,0 +1,205 @@
+#include "workload/trace_store.hh"
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "trace/trace_io.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace ghrp::workload
+{
+
+namespace
+{
+
+/** splitMix64-chained hash accumulator. */
+class KeyHasher
+{
+  public:
+    template <typename T>
+        requires std::is_integral_v<T> || std::is_enum_v<T>
+    void
+    mix(T value)
+    {
+        state = splitMix64(state ^ static_cast<std::uint64_t>(value));
+    }
+
+    void mix(double value) { mix(std::bit_cast<std::uint64_t>(value)); }
+
+    std::uint64_t value() const { return state; }
+
+  private:
+    std::uint64_t state = 0x6A09E667F3BCC909ull; // sqrt(2) fraction
+};
+
+} // anonymous namespace
+
+TraceStore::TraceStore(std::string directory) : dir(std::move(directory))
+{
+    if (dir.empty()) {
+        if (const char *env = std::getenv("GHRP_TRACE_CACHE"))
+            dir = env;
+    }
+}
+
+std::uint64_t
+TraceStore::contentKey(const TraceSpec &spec,
+                       std::uint64_t instruction_override)
+{
+    // Hash what the generator actually consumes: every WorkloadParams
+    // field after the override is applied, exactly as buildTrace does.
+    WorkloadParams p = makeParams(spec.category, spec.seed);
+    if (instruction_override != 0)
+        p.targetInstructions = instruction_override;
+
+    KeyHasher h;
+    h.mix(generatorVersion);
+    h.mix(static_cast<std::uint64_t>(p.category));
+    h.mix(p.seed);
+    h.mix(p.numModules);
+    h.mix(p.funcsPerModuleLo);
+    h.mix(p.funcsPerModuleHi);
+    h.mix(p.blocksPerFuncLo);
+    h.mix(p.blocksPerFuncHi);
+    h.mix(p.instrsPerBlockLo);
+    h.mix(p.instrsPerBlockHi);
+    h.mix(p.callFraction);
+    h.mix(p.indirectCallFraction);
+    h.mix(p.loopFraction);
+    h.mix(p.switchFraction);
+    h.mix(p.crossModuleCallFraction);
+    h.mix(p.loopTripMeanLo);
+    h.mix(p.loopTripMeanHi);
+    h.mix(p.biasSkew);
+    h.mix(p.scanCodeFraction);
+    h.mix(p.scanBlocksLo);
+    h.mix(p.scanBlocksHi);
+    h.mix(p.bigLoopFraction);
+    h.mix(p.bigLoopBlocksLo);
+    h.mix(p.bigLoopBlocksHi);
+    h.mix(p.bigLoopTripLo);
+    h.mix(p.bigLoopTripHi);
+    h.mix(p.stubFarmFraction);
+    h.mix(p.stubBlocksLo);
+    h.mix(p.stubBlocksHi);
+    h.mix(p.targetInstructions);
+    h.mix(p.phaseLengthInstructions);
+    h.mix(p.zipfSkew);
+    h.mix(p.scanCallProbability);
+    h.mix(p.bigLoopCallProbability);
+    h.mix(p.stubCallProbability);
+    h.mix(p.maxCallDepth);
+    h.mix(p.maxFunctionCost);
+    h.mix(p.codeBase);
+    h.mix(p.instBytes);
+    h.mix(p.functionGapBytes);
+    return h.value();
+}
+
+std::string
+TraceStore::pathFor(const TraceSpec &spec,
+                    std::uint64_t instruction_override) const
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "%016llx.ghrptrc",
+                  static_cast<unsigned long long>(
+                      contentKey(spec, instruction_override)));
+    return dir + "/" + name;
+}
+
+void
+TraceStore::persist(const trace::Trace &tr, const std::string &path)
+{
+    if (writeFailed.load(std::memory_order_relaxed))
+        return;
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+
+    // Unique temp name per process and call: concurrent producers of
+    // the same key never collide, and the final rename is atomic, so a
+    // reader sees either nothing or a complete file.
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                  static_cast<long>(
+#if defined(__unix__) || defined(__APPLE__)
+                      ::getpid()
+#else
+                      0
+#endif
+                          ),
+                  static_cast<unsigned long long>(
+                      tempCounter.fetch_add(1, std::memory_order_relaxed)));
+    const std::string tmp = path + suffix;
+
+    if (ec || !trace::tryWriteTrace(tr, tmp)) {
+        if (!writeFailed.exchange(true))
+            warn("trace store: cannot write under '%s'; continuing "
+                 "without persisting", dir.c_str());
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    storeCount.fetch_add(1, std::memory_order_relaxed);
+}
+
+trace::Trace
+TraceStore::acquire(const TraceSpec &spec,
+                    std::uint64_t instruction_override)
+{
+    if (!enabled())
+        return buildTrace(spec, instruction_override);
+
+    const std::string path = pathFor(spec, instruction_override);
+    if (auto mapped = trace::MappedTrace::tryOpen(path)) {
+        hitCount.fetch_add(1, std::memory_order_relaxed);
+        trace::Trace tr = mapped->materialize();
+        tr.name = spec.name;
+        tr.category = categoryName(spec.category);
+        return tr;
+    }
+
+    missCount.fetch_add(1, std::memory_order_relaxed);
+    trace::Trace tr = buildTrace(spec, instruction_override);
+    persist(tr, path);
+    return tr;
+}
+
+trace::DecodedTrace
+TraceStore::acquireDecoded(const TraceSpec &spec,
+                           std::uint64_t instruction_override,
+                           std::uint32_t block_bytes,
+                           std::uint32_t inst_bytes)
+{
+    if (enabled()) {
+        const std::string path = pathFor(spec, instruction_override);
+        if (auto mapped = trace::MappedTrace::tryOpen(path)) {
+            hitCount.fetch_add(1, std::memory_order_relaxed);
+            trace::DecodedTrace dec =
+                trace::decodeTrace(*mapped, block_bytes, inst_bytes);
+            dec.name = spec.name;
+            dec.category = categoryName(spec.category);
+            return dec;
+        }
+        missCount.fetch_add(1, std::memory_order_relaxed);
+        const trace::Trace tr = buildTrace(spec, instruction_override);
+        persist(tr, path);
+        return trace::decodeTrace(tr, block_bytes, inst_bytes);
+    }
+    return trace::decodeTrace(buildTrace(spec, instruction_override),
+                              block_bytes, inst_bytes);
+}
+
+} // namespace ghrp::workload

@@ -1,0 +1,96 @@
+/** @file Suite-runner integration with the content-addressed trace
+ *  store: cached runs must be bit-identical to in-memory runs. */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/runner.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using core::SuiteOptions;
+using core::SuiteResults;
+
+SuiteOptions
+tinyOptions()
+{
+    SuiteOptions options;
+    options.numTraces = 2;
+    options.instructionOverride = 120'000;
+    options.policies = {frontend::PolicyKind::Lru,
+                        frontend::PolicyKind::Ghrp};
+    return options;
+}
+
+void
+expectSameResults(const SuiteResults &a, const SuiteResults &b)
+{
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (const auto &[policy, runs] : a.results) {
+        const auto &other = b.results.at(policy);
+        ASSERT_EQ(runs.size(), other.size());
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            EXPECT_EQ(runs[i].icache.misses, other[i].icache.misses);
+            EXPECT_EQ(runs[i].icache.hits, other[i].icache.hits);
+            EXPECT_EQ(runs[i].btb.misses, other[i].btb.misses);
+            EXPECT_EQ(runs[i].condMispredicts, other[i].condMispredicts);
+            EXPECT_EQ(runs[i].totalInstructions,
+                      other[i].totalInstructions);
+            EXPECT_DOUBLE_EQ(runs[i].icacheMpki, other[i].icacheMpki);
+            EXPECT_DOUBLE_EQ(runs[i].btbMpki, other[i].btbMpki);
+        }
+    }
+}
+
+TEST(RunnerStore, ColdAndWarmRunsMatchStorelessRun)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/runner-store-parity";
+    std::filesystem::remove_all(dir);
+
+    SuiteOptions storeless = tinyOptions();
+    const SuiteResults reference = core::runSuite(storeless);
+    EXPECT_FALSE(reference.traceStoreEnabled);
+
+    SuiteOptions cached = tinyOptions();
+    cached.traceCacheDir = dir;
+
+    const SuiteResults cold = core::runSuite(cached);
+    EXPECT_TRUE(cold.traceStoreEnabled);
+    EXPECT_EQ(cold.traceStore.hits, 0u);
+    EXPECT_EQ(cold.traceStore.misses, 2u);
+    EXPECT_EQ(cold.traceStore.stores, 2u);
+    expectSameResults(cold, reference);
+
+    const SuiteResults warm = core::runSuite(cached);
+    EXPECT_EQ(warm.traceStore.hits, 2u);
+    EXPECT_EQ(warm.traceStore.misses, 0u);
+    expectSameResults(warm, reference);
+
+    std::filesystem::remove_all(dir);
+}
+
+TEST(RunnerStore, SerialAndParallelAgreeWithWarmStore)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/runner-store-jobs";
+    std::filesystem::remove_all(dir);
+
+    SuiteOptions serial = tinyOptions();
+    serial.traceCacheDir = dir;
+    serial.jobs = 1;
+    const SuiteResults a = core::runSuite(serial);
+
+    SuiteOptions parallel = serial;
+    parallel.jobs = 4;
+    const SuiteResults b = core::runSuite(parallel);
+    EXPECT_EQ(b.traceStore.hits, 2u);
+    expectSameResults(a, b);
+
+    std::filesystem::remove_all(dir);
+}
+
+} // anonymous namespace

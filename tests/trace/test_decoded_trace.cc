@@ -1,0 +1,159 @@
+/** @file Unit tests for the decode-once fetch-op stream. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/decoded_trace.hh"
+#include "trace/fetch_stream.hh"
+#include "trace/trace_io.hh"
+#include "workload/suite.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::trace;
+
+Trace
+loopTrace()
+{
+    Trace t;
+    t.name = "loop";
+    t.category = "TEST";
+    t.entryPc = 0x1000;
+    for (int i = 0; i < 3; ++i)
+        t.records.push_back(
+            {0x1010, 0x1000, BranchType::CondDirect, true});
+    t.records.push_back({0x1010, 0x1000, BranchType::CondDirect, false});
+    t.records.push_back({0x1080, 0x2000, BranchType::Call, true});
+    t.records.push_back({0x2008, 0x1084, BranchType::Return, true});
+    return t;
+}
+
+TEST(BranchMeta, PackRoundTrip)
+{
+    for (unsigned t = 0; t < numBranchTypes; ++t) {
+        const auto type = static_cast<BranchType>(t);
+        for (bool taken : {false, true}) {
+            const std::uint8_t m = branch_meta::pack(type, taken);
+            EXPECT_EQ(branch_meta::type(m), type);
+            EXPECT_EQ(branch_meta::taken(m), taken);
+            EXPECT_EQ(branch_meta::conditional(m), isConditional(type));
+            EXPECT_EQ(branch_meta::indirect(m), isIndirect(type));
+            EXPECT_EQ(branch_meta::call(m), isCall(type));
+            EXPECT_EQ(branch_meta::isReturn(m),
+                      type == BranchType::Return);
+        }
+    }
+}
+
+TEST(DecodedTrace, MirrorsWalkerExactly)
+{
+    const Trace tr = loopTrace();
+    const DecodedTrace dec = decodeTrace(tr, 64, 4);
+
+    ASSERT_EQ(dec.numRecords(), tr.records.size());
+    ASSERT_EQ(dec.opBegin.size(), tr.records.size() + 1);
+    EXPECT_EQ(dec.opBegin.front(), 0u);
+    EXPECT_EQ(dec.opBegin.back(), dec.numFetchOps());
+    EXPECT_EQ(dec.entryPc, tr.entryPc);
+    EXPECT_EQ(dec.resyncs, 0u);
+
+    // Replay the walker with the front-end's coalescing rule and
+    // compare op-for-op.
+    FetchStreamWalker walker(tr.entryPc, 64, 4);
+    Addr last_block = ~Addr{0};
+    std::size_t op = 0;
+    for (std::size_t i = 0; i < tr.records.size(); ++i) {
+        const Addr run_start = walker.currentPc();
+        walker.advance(tr.records[i], [&](Addr block_addr) {
+            if (block_addr == last_block)
+                return;
+            last_block = block_addr;
+            ASSERT_LT(op, dec.numFetchOps());
+            const Addr fetch_pc = std::max(run_start, block_addr);
+            EXPECT_EQ(dec.fetchPc[op], fetch_pc);
+            // The block address must be recoverable from the fetch pc.
+            EXPECT_EQ(dec.fetchPc[op] & ~Addr{63}, block_addr);
+            ++op;
+        });
+        EXPECT_EQ(dec.opBegin[i + 1], op);
+        EXPECT_EQ(dec.cumInstructions[i], walker.instructionCount());
+        EXPECT_EQ(dec.brPc[i], tr.records[i].pc);
+        EXPECT_EQ(dec.brTarget[i], tr.records[i].target);
+        EXPECT_EQ(branch_meta::type(dec.brMeta[i]), tr.records[i].type);
+        EXPECT_EQ(branch_meta::taken(dec.brMeta[i]),
+                  tr.records[i].taken);
+    }
+    EXPECT_EQ(op, dec.numFetchOps());
+    EXPECT_EQ(dec.totalInstructions(), walker.instructionCount());
+}
+
+TEST(DecodedTrace, CoalescesIntraBlockRuns)
+{
+    // Three loop iterations within one 64-byte block: only the first
+    // touches the block; the rest are fetch-buffer hits.
+    Trace t;
+    t.entryPc = 0x1000;
+    for (int i = 0; i < 3; ++i)
+        t.records.push_back(
+            {0x1010, 0x1000, BranchType::CondDirect, true});
+    const DecodedTrace dec = decodeTrace(t, 64, 4);
+    EXPECT_EQ(dec.numFetchOps(), 1u);
+    EXPECT_EQ(dec.fetchPc[0], 0x1000u);
+}
+
+TEST(DecodedTrace, EmptyTrace)
+{
+    Trace t;
+    t.entryPc = 0x4000;
+    const DecodedTrace dec = decodeTrace(t, 64, 4);
+    EXPECT_EQ(dec.numRecords(), 0u);
+    EXPECT_EQ(dec.numFetchOps(), 0u);
+    EXPECT_EQ(dec.totalInstructions(), 0u);
+    ASSERT_EQ(dec.opBegin.size(), 1u);
+    EXPECT_EQ(dec.opBegin[0], 0u);
+    EXPECT_FALSE(dec.hasDirectionStream());
+}
+
+TEST(DecodedTrace, MappedDecodeMatchesInMemoryDecode)
+{
+    const auto specs = workload::makeSuite(1, 123);
+    const Trace tr = workload::buildTrace(specs.front(), 50'000);
+    const std::string path = ::testing::TempDir() + "/mapped.ghrptrc";
+    writeTrace(tr, path);
+
+    const auto mapped = MappedTrace::tryOpen(path);
+    ASSERT_TRUE(mapped.has_value());
+    const DecodedTrace from_map = decodeTrace(*mapped, 64, 4);
+    const DecodedTrace from_mem = decodeTrace(tr, 64, 4);
+
+    EXPECT_EQ(from_map.brPc, from_mem.brPc);
+    EXPECT_EQ(from_map.brTarget, from_mem.brTarget);
+    EXPECT_EQ(from_map.brMeta, from_mem.brMeta);
+    EXPECT_EQ(from_map.cumInstructions, from_mem.cumInstructions);
+    EXPECT_EQ(from_map.opBegin, from_mem.opBegin);
+    EXPECT_EQ(from_map.fetchPc, from_mem.fetchPc);
+    EXPECT_EQ(from_map.resyncs, from_mem.resyncs);
+    std::remove(path.c_str());
+}
+
+TEST(DecodedTrace, SuiteTraceDecodeIsSelfConsistent)
+{
+    const auto specs = workload::makeSuite(2, 7);
+    for (const auto &spec : specs) {
+        const Trace tr = workload::buildTrace(spec, 100'000);
+        const DecodedTrace dec = decodeTrace(tr, 64, 4);
+        ASSERT_EQ(dec.numRecords(), tr.records.size());
+        // Generated traces never resync and monotonic cumulative
+        // counts are what places the warm-up boundary.
+        EXPECT_EQ(dec.resyncs, 0u);
+        for (std::size_t i = 1; i < dec.cumInstructions.size(); ++i)
+            EXPECT_GE(dec.cumInstructions[i], dec.cumInstructions[i - 1]);
+        EXPECT_GT(dec.totalInstructions(), 90'000u);
+        EXPECT_GT(dec.memoryBytes(), 0u);
+    }
+}
+
+} // anonymous namespace

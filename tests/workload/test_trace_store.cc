@@ -1,0 +1,205 @@
+/** @file Unit tests for the content-addressed trace store. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/decoded_trace.hh"
+#include "trace/trace_io.hh"
+#include "workload/trace_store.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::workload;
+
+/** Fresh scratch directory per test. */
+std::string
+scratchDir(const std::string &name)
+{
+    const std::string dir = ::testing::TempDir() + "/store-" + name;
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::vector<TraceSpec>
+specs(std::uint32_t n = 2, std::uint64_t seed = 11)
+{
+    return makeSuite(n, seed);
+}
+
+bool
+sameTrace(const trace::Trace &a, const trace::Trace &b)
+{
+    if (a.entryPc != b.entryPc || a.records.size() != b.records.size())
+        return false;
+    for (std::size_t i = 0; i < a.records.size(); ++i)
+        if (!(a.records[i] == b.records[i]))
+            return false;
+    return true;
+}
+
+TEST(ContentKey, StableAcrossCalls)
+{
+    const auto sp = specs();
+    EXPECT_EQ(TraceStore::contentKey(sp[0], 0),
+              TraceStore::contentKey(sp[0], 0));
+}
+
+TEST(ContentKey, SensitiveToGenerationInputs)
+{
+    const auto sp = specs();
+    const std::uint64_t base = TraceStore::contentKey(sp[0], 0);
+    // A different spec, a different seed, and a different instruction
+    // override must all move the key.
+    EXPECT_NE(base, TraceStore::contentKey(sp[1], 0));
+    EXPECT_NE(base, TraceStore::contentKey(sp[0], 50'000));
+    TraceSpec reseeded = sp[0];
+    reseeded.seed ^= 1;
+    EXPECT_NE(base, TraceStore::contentKey(reseeded, 0));
+}
+
+TEST(ContentKey, NameIsPresentationOnly)
+{
+    // The name is patched from the spec on load, so renaming a spec
+    // must not invalidate its cached trace.
+    const auto sp = specs();
+    TraceSpec renamed = sp[0];
+    renamed.name = "SOMETHING-ELSE";
+    EXPECT_EQ(TraceStore::contentKey(sp[0], 0),
+              TraceStore::contentKey(renamed, 0));
+}
+
+TEST(TraceStoreTest, DisabledStoreStillBuilds)
+{
+    TraceStore store("");
+    // No GHRP_TRACE_CACHE in the test environment means disabled.
+    if (store.enabled())
+        GTEST_SKIP() << "GHRP_TRACE_CACHE set in environment";
+    const auto sp = specs(1);
+    const trace::Trace direct = buildTrace(sp[0], 40'000);
+    const trace::Trace via_store = store.acquire(sp[0], 40'000);
+    EXPECT_TRUE(sameTrace(direct, via_store));
+    EXPECT_EQ(store.stats().hits, 0u);
+    EXPECT_EQ(store.stats().misses, 0u);
+}
+
+TEST(TraceStoreTest, MissThenHitRoundTrip)
+{
+    TraceStore store(scratchDir("roundtrip"));
+    const auto sp = specs(1);
+
+    const trace::Trace first = store.acquire(sp[0], 40'000);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().stores, 1u);
+    EXPECT_TRUE(std::filesystem::exists(store.pathFor(sp[0], 40'000)));
+
+    const trace::Trace second = store.acquire(sp[0], 40'000);
+    EXPECT_EQ(store.stats().hits, 1u);
+    EXPECT_TRUE(sameTrace(first, second));
+    EXPECT_TRUE(sameTrace(first, buildTrace(sp[0], 40'000)));
+    // Presentation metadata comes from the spec, not the file.
+    EXPECT_EQ(second.name, sp[0].name);
+}
+
+TEST(TraceStoreTest, MappedReadEqualsStreamedRead)
+{
+    TraceStore store(scratchDir("mmap"));
+    const auto sp = specs(1);
+    (void)store.acquire(sp[0], 40'000);
+
+    const std::string path = store.pathFor(sp[0], 40'000);
+    const auto mapped = trace::MappedTrace::tryOpen(path);
+    ASSERT_TRUE(mapped.has_value());
+    const trace::Trace streamed = trace::readTrace(path);
+    ASSERT_EQ(mapped->numRecords(), streamed.records.size());
+    EXPECT_EQ(mapped->entryPc(), streamed.entryPc);
+    for (std::size_t i = 0; i < streamed.records.size(); ++i)
+        EXPECT_EQ(mapped->record(i), streamed.records[i]);
+    EXPECT_TRUE(sameTrace(mapped->materialize(), streamed));
+}
+
+TEST(TraceStoreTest, AcquireDecodedMatchesInMemoryPipeline)
+{
+    TraceStore store(scratchDir("decoded"));
+    const auto sp = specs(1);
+    const trace::DecodedTrace reference =
+        trace::decodeTrace(buildTrace(sp[0], 40'000), 64, 4);
+
+    // Cold (generate + persist) and warm (decode from the mmap) must
+    // both reproduce the in-memory pipeline exactly.
+    for (int round = 0; round < 2; ++round) {
+        const trace::DecodedTrace dec =
+            store.acquireDecoded(sp[0], 40'000, 64, 4);
+        EXPECT_EQ(dec.brPc, reference.brPc);
+        EXPECT_EQ(dec.brTarget, reference.brTarget);
+        EXPECT_EQ(dec.brMeta, reference.brMeta);
+        EXPECT_EQ(dec.cumInstructions, reference.cumInstructions);
+        EXPECT_EQ(dec.opBegin, reference.opBegin);
+        EXPECT_EQ(dec.fetchPc, reference.fetchPc);
+        EXPECT_EQ(dec.name, sp[0].name);
+    }
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().hits, 1u);
+}
+
+TEST(TraceStoreTest, StaleFormatVersionIsAMiss)
+{
+    TraceStore store(scratchDir("stale"));
+    const auto sp = specs(1);
+    (void)store.acquire(sp[0], 40'000);
+    const std::string path = store.pathFor(sp[0], 40'000);
+
+    // Corrupt the format version byte; the mapped open must refuse the
+    // file (nullopt, not fatal) and the store must regenerate.
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(8);  // just past the 8-byte magic
+        const char bogus = 99;
+        f.write(&bogus, 1);
+    }
+    EXPECT_FALSE(trace::MappedTrace::tryOpen(path).has_value());
+
+    const trace::Trace rebuilt = store.acquire(sp[0], 40'000);
+    EXPECT_EQ(store.stats().misses, 2u);
+    EXPECT_TRUE(sameTrace(rebuilt, buildTrace(sp[0], 40'000)));
+    // The stale file was overwritten with a fresh, valid one.
+    EXPECT_TRUE(trace::MappedTrace::tryOpen(path).has_value());
+}
+
+TEST(TraceStoreTest, CorruptFileIsAMiss)
+{
+    TraceStore store(scratchDir("corrupt"));
+    const auto sp = specs(1);
+    const std::string path = store.pathFor(sp[0], 40'000);
+    std::filesystem::create_directories(store.directory());
+    {
+        std::ofstream f(path, std::ios::binary);
+        f << "garbage that is not a trace";
+    }
+    EXPECT_FALSE(trace::MappedTrace::tryOpen(path).has_value());
+    const trace::Trace built = store.acquire(sp[0], 40'000);
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_TRUE(sameTrace(built, buildTrace(sp[0], 40'000)));
+}
+
+TEST(TraceStoreTest, TruncatedFileIsAMiss)
+{
+    TraceStore store(scratchDir("trunc"));
+    const auto sp = specs(1);
+    (void)store.acquire(sp[0], 40'000);
+    const std::string path = store.pathFor(sp[0], 40'000);
+
+    const auto full = std::filesystem::file_size(path);
+    std::filesystem::resize_file(path, full / 2);
+    EXPECT_FALSE(trace::MappedTrace::tryOpen(path).has_value());
+    (void)store.acquire(sp[0], 40'000);
+    EXPECT_EQ(store.stats().misses, 2u);
+}
+
+} // anonymous namespace
