@@ -38,6 +38,7 @@ main(int argc, char **argv)
     // reduction below is deterministic. Per-trace seeds use the pure
     // traceSeed derivation (see src/util/random.hh).
     std::vector<std::array<frontend::FrontendResult, 5>> rows(num_traces);
+    const auto sweep_start = std::chrono::steady_clock::now();
     {
         util::ThreadPool pool(jobs);
         std::vector<std::future<void>> futures;
@@ -86,6 +87,10 @@ main(int argc, char **argv)
     }
     if (logLevel() != LogLevel::Quiet)
         std::fprintf(stderr, "\n");
+    const double sweep_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
 
     stats::RunningStats acc[5];
     stats::RunningStats dead_evict_pct;
@@ -119,5 +124,19 @@ main(int argc, char **argv)
     std::printf("%s\n", table.render().c_str());
     std::printf("GHRP dead-entry evictions: %.1f%% of BTB evictions\n",
                 dead_evict_pct.mean());
+
+    report::ReportBuilder builder("ablation_btb_stress");
+    for (std::uint32_t t = 0; t < num_traces; ++t) {
+        char trace_name[32];
+        std::snprintf(trace_name, sizeof(trace_name), "btb-stress-%u", t);
+        for (std::size_t p = 0; p < std::size(frontend::paperPolicies);
+             ++p)
+            builder.addLeg(trace_name,
+                           frontend::policyName(frontend::paperPolicies[p]),
+                           rows[t][p]);
+    }
+    builder.addMetric("ghrp_dead_evict_pct", dead_evict_pct.mean());
+    builder.setSweep(sweep_wall, jobs);
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -7,6 +7,7 @@
  * same trace suite.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -79,6 +80,7 @@ main(int argc, char **argv)
         double lruIcache = 0, lruBtb = 0;
         std::vector<double> icache, btb;
     };
+    double sweep_wall = 0.0;
     const std::vector<PerTrace> rows = bench::mapTraceSweep(
         specs, instructions, jobs, variants.size() + 1,
         [&](const workload::TraceSpec &, const trace::Trace &tr) {
@@ -99,7 +101,8 @@ main(int argc, char **argv)
                 out.btb.push_back(r.btbMpki);
             }
             return out;
-        });
+        },
+        &sweep_wall);
 
     stats::RunningStats lru_icache, lru_btb;
     std::vector<stats::RunningStats> var_icache(variants.size());
@@ -135,5 +138,31 @@ main(int argc, char **argv)
                       stats::TextTable::num(bt_rel, 1)});
     }
     std::printf("%s\n", table.render().c_str());
+
+    // Variant labels become metric keys: lowercase, non-alnum -> '_'.
+    report::ReportBuilder builder("ablation_ghrp");
+    const auto metric_key = [](const std::string &label) {
+        std::string key;
+        for (char c : label) {
+            if (std::isalnum(static_cast<unsigned char>(c)))
+                key.push_back(static_cast<char>(
+                    std::tolower(static_cast<unsigned char>(c))));
+            else if (!key.empty() && key.back() != '_')
+                key.push_back('_');
+        }
+        while (!key.empty() && key.back() == '_')
+            key.pop_back();
+        return key;
+    };
+    builder.addMetric("lru_icache_mpki", lru_icache.mean());
+    builder.addMetric("lru_btb_mpki", lru_btb.mean());
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        const std::string key = metric_key(variants[v].name);
+        builder.addMetric(key + "_icache_mpki", var_icache[v].mean());
+        builder.addMetric(key + "_btb_mpki", var_btb[v].mean());
+    }
+    builder.setSweep(sweep_wall, jobs,
+                     specs.size() * (variants.size() + 1));
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -41,6 +41,7 @@ main(int argc, char **argv)
     {
         double lru = 0, ghrp = 0, opt = 0;
     };
+    double sweep_wall = 0.0;
     const std::vector<PerTrace> rows = bench::mapTraceSweep(
         specs, instructions, jobs, 3,
         [](const workload::TraceSpec &, const trace::Trace &tr) {
@@ -53,7 +54,8 @@ main(int argc, char **argv)
             out.ghrp = frontend::simulateTrace(cfg, tr).icacheMpki;
             out.opt = core::simulateOptIcache(tr, cfg.icache).mpki();
             return out;
-        });
+        },
+        &sweep_wall);
 
     double sum_headroom = 0, sum_captured = 0;
     for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -75,5 +77,16 @@ main(int argc, char **argv)
     std::printf("mean headroom %.1f%%; mean share captured by GHRP "
                 "%.1f%%\n",
                 sum_headroom / num_traces, sum_captured / num_traces);
+
+    report::ReportBuilder builder("ablation_opt_headroom");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        builder.addMetric(specs[i].name + "_lru_mpki", rows[i].lru);
+        builder.addMetric(specs[i].name + "_ghrp_mpki", rows[i].ghrp);
+        builder.addMetric(specs[i].name + "_opt_mpki", rows[i].opt);
+    }
+    builder.addMetric("mean_headroom_pct", sum_headroom / num_traces);
+    builder.addMetric("mean_captured_pct", sum_captured / num_traces);
+    builder.setSweep(sweep_wall, jobs, specs.size() * 3);
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -86,6 +86,7 @@ main(int argc, char **argv)
         frontend::FrontendResult lru;
         std::vector<frontend::FrontendResult> ghrp, sdbp;
     };
+    double sweep_wall = 0.0;
     const std::vector<PerTrace> rows = bench::mapTraceSweep(
         specs, instructions, jobs,
         1 + ghrp_variants.size() + sdbp_variants.size(),
@@ -112,7 +113,8 @@ main(int argc, char **argv)
                 out.sdbp.push_back(frontend::simulateTrace(config, tr));
             }
             return out;
-        });
+        },
+        &sweep_wall);
 
     Accumulator lru;
     std::vector<Accumulator> ghrp_acc(ghrp_variants.size());
@@ -167,5 +169,35 @@ main(int argc, char **argv)
                  rel(sdbp_acc[v].btb.mean(), lru.btb.mean()), 1)});
     }
     std::printf("%s\n", table.render().c_str());
+
+    report::ReportBuilder builder("ablation_thresholds");
+    builder.addMetric("lru_mobile_icache_mpki", lru.mobile.mean());
+    builder.addMetric("lru_server_icache_mpki", lru.server.mean());
+    builder.addMetric("lru_btb_mpki", lru.btb.mean());
+    for (std::size_t v = 0; v < ghrp_variants.size(); ++v) {
+        char key[64];
+        std::snprintf(key, sizeof(key), "ghrp_c%u_d%u_b%u_bd%u",
+                      ghrp_variants[v].counterBits, ghrp_variants[v].dead,
+                      ghrp_variants[v].bypass, ghrp_variants[v].btbDead);
+        builder.addMetric(std::string(key) + "_mobile_icache_mpki",
+                          ghrp_acc[v].mobile.mean());
+        builder.addMetric(std::string(key) + "_server_icache_mpki",
+                          ghrp_acc[v].server.mean());
+        builder.addMetric(std::string(key) + "_btb_mpki",
+                          ghrp_acc[v].btb.mean());
+    }
+    for (std::size_t v = 0; v < sdbp_variants.size(); ++v) {
+        char key[64];
+        std::snprintf(key, sizeof(key), "sdbp_d%u_b%u",
+                      sdbp_variants[v].dead, sdbp_variants[v].bypass);
+        builder.addMetric(std::string(key) + "_mobile_icache_mpki",
+                          sdbp_acc[v].mobile.mean());
+        builder.addMetric(std::string(key) + "_server_icache_mpki",
+                          sdbp_acc[v].server.mean());
+    }
+    builder.setSweep(sweep_wall, jobs,
+                     specs.size() *
+                         (1 + ghrp_variants.size() + sdbp_variants.size()));
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

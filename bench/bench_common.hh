@@ -17,6 +17,11 @@
  *                      runs just skip regeneration)
  *   --leg-times        print the per-leg wall-time table
  *   --quiet            suppress progress and throughput reporting
+ *   --report FILE      write a versioned JSON run report (schema
+ *                      "ghrp-run-report") to FILE; with no flag, the
+ *                      GHRP_REPORT_DIR environment variable (when set)
+ *                      selects <dir>/<experiment>.json — handy for
+ *                      fleet runs that report every binary
  */
 
 #ifndef GHRP_BENCH_BENCH_COMMON_HH
@@ -24,11 +29,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <future>
 #include <vector>
 
 #include "core/cli.hh"
 #include "core/runner.hh"
+#include "report/report.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/trace_store.hh"
@@ -52,6 +59,44 @@ suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
     if (cli.has("quiet"))
         setLogLevel(LogLevel::Quiet);
     return options;
+}
+
+/**
+ * Where this run's JSON report should go: the --report flag, else
+ * <GHRP_REPORT_DIR>/<experiment>.json when the environment variable is
+ * set, else empty (no report).
+ */
+inline std::string
+reportPath(const core::CliOptions &cli, const std::string &experiment)
+{
+    const std::string path = cli.getString("report", "");
+    if (!path.empty())
+        return path;
+    if (const char *dir = std::getenv("GHRP_REPORT_DIR"); dir && *dir)
+        return std::string(dir) + "/" + experiment + ".json";
+    return "";
+}
+
+/** Write @p report to @p path (no-op when @p path is empty). */
+inline void
+writeReport(const report::RunReport &report, const std::string &path)
+{
+    if (path.empty())
+        return;
+    report.write(path);
+    if (logLevel() != LogLevel::Quiet)
+        std::fprintf(stderr, "[report] wrote %s\n", path.c_str());
+}
+
+/**
+ * Report hook for the custom bench loops: write @p report to the
+ * --report / GHRP_REPORT_DIR destination, if any.
+ */
+inline void
+maybeWriteReport(const core::CliOptions &cli,
+                 const report::RunReport &report)
+{
+    writeReport(report, reportPath(cli, report.experiment));
 }
 
 /** Worker count a set of SuiteOptions will actually use. */
@@ -141,17 +186,20 @@ reportThroughput(const core::SuiteResults &results, unsigned jobs,
 
 /**
  * Run the standard sweep on the parallel path with progress and a
- * throughput report. Drop-in replacement for core::runSuite in the
- * figure binaries.
+ * throughput report, then honor --report / GHRP_REPORT_DIR with the
+ * standard suite report for @p experiment. Drop-in replacement for
+ * core::runSuite in the figure binaries.
  */
 inline core::SuiteResults
 runSuiteTimed(const core::SuiteOptions &options,
-              const core::CliOptions &cli)
+              const core::CliOptions &cli, const std::string &experiment)
 {
     const core::SuiteResults results =
         core::runSuite(options, progressMeter());
     reportThroughput(results, effectiveJobs(options),
                      cli.has("leg-times"));
+    writeReport(report::buildSuiteReport(experiment, options, results),
+                reportPath(cli, experiment));
     return results;
 }
 
@@ -162,13 +210,16 @@ runSuiteTimed(const core::SuiteOptions &options,
  * returns the per-trace values in suite order, so downstream
  * aggregation is deterministic regardless of scheduling. @p fn must
  * not touch shared mutable state. Prints a throughput report based on
- * @p legs_per_trace (simulation runs per trace inside fn).
+ * @p legs_per_trace (simulation runs per trace inside fn). When
+ * @p wall_seconds_out is non-null, the sweep wall time is stored there
+ * (for run-report sweep stats).
  */
 template <typename Fn>
 auto
 mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
               std::uint64_t instruction_override, unsigned jobs,
-              std::size_t legs_per_trace, Fn &&fn)
+              std::size_t legs_per_trace, Fn &&fn,
+              double *wall_seconds_out = nullptr)
     -> std::vector<decltype(fn(specs.front(), trace::Trace{}))>
 {
     using R = decltype(fn(specs.front(), trace::Trace{}));
@@ -210,6 +261,8 @@ mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
     const double wall = std::chrono::duration<double>(
                             std::chrono::steady_clock::now() - start)
                             .count();
+    if (wall_seconds_out)
+        *wall_seconds_out = wall;
     if (logLevel() != LogLevel::Quiet) {
         const std::size_t legs = specs.size() * legs_per_trace;
         std::fprintf(stderr,

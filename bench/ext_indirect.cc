@@ -35,6 +35,7 @@ main(int argc, char **argv)
     {
         frontend::FrontendResult base, itp;
     };
+    double sweep_wall = 0.0;
     const std::vector<PerTrace> rows = bench::mapTraceSweep(
         specs, instructions, jobs, 2,
         [](const workload::TraceSpec &, const trace::Trace &tr) {
@@ -45,7 +46,8 @@ main(int argc, char **argv)
             cfg.useIndirectPredictor = true;
             out.itp = frontend::simulateTrace(cfg, tr);
             return out;
-        });
+        },
+        &sweep_wall);
 
     stats::RunningStats base_rate, itp_rate, base_mpki, itp_mpki;
     for (const PerTrace &row : rows) {
@@ -79,5 +81,17 @@ main(int argc, char **argv)
                 "work; the polymorphic,\npath-correlated indirect sites "
                 "(cyclic callee rotation in the workload)\nare exactly "
                 "what last-target prediction cannot capture.\n");
+
+    report::ReportBuilder builder("ext_indirect");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        builder.addLeg(specs[i].name, "GHRP+last-target", rows[i].base);
+        builder.addLeg(specs[i].name, "GHRP+path-itp", rows[i].itp);
+    }
+    builder.addMetric("base_indirect_mispredict_pct", base_rate.mean());
+    builder.addMetric("itp_indirect_mispredict_pct", itp_rate.mean());
+    builder.addMetric("base_indirect_mpki", base_mpki.mean());
+    builder.addMetric("itp_indirect_mpki", itp_mpki.mean());
+    builder.setSweep(sweep_wall, jobs);
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -38,6 +38,7 @@ main(int argc, char **argv)
     {
         double lru[3] = {}, ghrp[3] = {};
     };
+    double sweep_wall = 0.0;
     const std::vector<PerTrace> rows = bench::mapTraceSweep(
         specs, instructions, jobs, 2 * std::size(degrees),
         [&](const workload::TraceSpec &, const trace::Trace &tr) {
@@ -51,7 +52,8 @@ main(int argc, char **argv)
                 out.ghrp[d] = frontend::simulateTrace(cfg, tr).icacheMpki;
             }
             return out;
-        });
+        },
+        &sweep_wall);
 
     stats::RunningStats lru_acc[3], ghrp_acc[3];
     for (const PerTrace &row : rows) {
@@ -81,5 +83,15 @@ main(int argc, char **argv)
     std::printf("Sequential prefetching absorbs the straight-line "
                 "misses; what remains is\nthe reuse-limit traffic that "
                 "replacement policy fights over.\n");
+
+    report::ReportBuilder builder("ext_prefetch");
+    for (std::size_t d = 0; d < std::size(degrees); ++d) {
+        const std::string key = "degree" + std::to_string(degrees[d]);
+        builder.addMetric(key + "_lru_mpki", lru_acc[d].mean());
+        builder.addMetric(key + "_ghrp_mpki", ghrp_acc[d].mean());
+    }
+    builder.setSweep(sweep_wall, jobs,
+                     specs.size() * 2 * std::size(degrees));
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -42,9 +42,12 @@ main(int argc, char **argv)
     {
         std::string text;
         std::string pgmPath;
+        frontend::FrontendResult result;
+        double meanEfficiency = 0.0;
     };
     const std::size_t num_policies = std::size(frontend::paperPolicies);
     std::vector<PolicyOutput> outputs(num_policies);
+    const auto sweep_start = std::chrono::steady_clock::now();
     {
         util::ThreadPool pool(
             static_cast<unsigned>(cli.getUint("jobs", 0)));
@@ -69,6 +72,8 @@ main(int argc, char **argv)
                               eff.meanEfficiency(), r.icacheMpki);
                 outputs[p].text =
                     std::string(head) + eff.renderAscii(16) + "\n";
+                outputs[p].result = r;
+                outputs[p].meanEfficiency = eff.meanEfficiency();
                 if (!pgm_prefix.empty()) {
                     outputs[p].pgmPath =
                         pgm_prefix + "_" +
@@ -79,6 +84,10 @@ main(int argc, char **argv)
         for (std::future<void> &f : legs)
             f.get();
     }
+    const double sweep_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sweep_start)
+            .count();
     for (const PolicyOutput &out : outputs) {
         std::printf("%s", out.text.c_str());
         if (!out.pgmPath.empty())
@@ -86,5 +95,17 @@ main(int argc, char **argv)
     }
     std::printf("paper: GHRP shows the lightest (most live) map; Random "
                 "the darkest.\n");
+
+    report::ReportBuilder builder("fig01_icache_heatmap");
+    for (std::size_t p = 0; p < num_policies; ++p) {
+        const char *policy =
+            frontend::policyName(frontend::paperPolicies[p]);
+        builder.addLeg(spec.name, policy, outputs[p].result);
+        builder.addMetric(std::string(policy) + "_mean_efficiency",
+                          outputs[p].meanEfficiency);
+    }
+    builder.setSweep(sweep_wall,
+                     static_cast<unsigned>(cli.getUint("jobs", 0)));
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -26,7 +26,7 @@ main(int argc, char **argv)
     core::SuiteOptions options = bench::suiteOptions(cli, 24, 0);
 
     const core::SuiteResults results =
-        bench::runSuiteTimed(options, cli);
+        bench::runSuiteTimed(options, cli, "fig03_icache_scurve");
 
     const std::vector<double> lru =
         results.icacheMpki(frontend::PolicyKind::Lru);

@@ -19,7 +19,7 @@ main(int argc, char **argv)
     core::SuiteOptions options = bench::suiteOptions(cli, 10, 0);
 
     const core::SuiteResults results =
-        bench::runSuiteTimed(options, cli);
+        bench::runSuiteTimed(options, cli, "fig06_icache_perbench");
 
     std::printf("=== Figure 6: per-benchmark I-cache MPKI "
                 "(64KB 8-way 64B, %zu traces) ===\n\n",

@@ -43,6 +43,7 @@ main(int argc, char **argv)
     {
         double mpki[8][5] = {};
     };
+    double sweep_wall = 0.0;
     const std::vector<PerTrace> grids = bench::mapTraceSweep(
         specs, instructions, jobs,
         std::size(configs) * std::size(frontend::paperPolicies),
@@ -60,7 +61,8 @@ main(int argc, char **argv)
                 }
             }
             return out;
-        });
+        },
+        &sweep_wall);
 
     // means[config][policy]
     double sums[8][5] = {};
@@ -87,5 +89,22 @@ main(int argc, char **argv)
     std::printf("%s\n", table.render().c_str());
     std::printf("paper trend: same ordering at every configuration; "
                 "Random worst, GHRP lowest.\n");
+
+    report::ReportBuilder builder("fig07_icache_configs");
+    for (std::size_t c = 0; c < std::size(configs); ++c) {
+        char key[32];
+        std::snprintf(key, sizeof(key), "%ukb_%uway", configs[c].kb,
+                      configs[c].assoc);
+        for (std::size_t p = 0; p < 5; ++p)
+            builder.addMetric(
+                std::string(key) + "_" +
+                    frontend::policyName(frontend::paperPolicies[p]) +
+                    "_mpki",
+                sums[c][p] / static_cast<double>(num_traces));
+    }
+    builder.setSweep(sweep_wall, jobs,
+                     specs.size() * std::size(configs) *
+                         std::size(frontend::paperPolicies));
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

@@ -19,7 +19,7 @@ main(int argc, char **argv)
     core::SuiteOptions options = bench::suiteOptions(cli, 16, 0);
 
     const core::SuiteResults results =
-        bench::runSuiteTimed(options, cli);
+        bench::runSuiteTimed(options, cli, "fig08_relative_ci");
     const std::vector<double> lru =
         results.icacheMpki(frontend::PolicyKind::Lru);
 

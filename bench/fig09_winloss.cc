@@ -21,7 +21,7 @@ main(int argc, char **argv)
     const double tolerance = cli.getDouble("tolerance", 0.02);
 
     const core::SuiteResults results =
-        bench::runSuiteTimed(options, cli);
+        bench::runSuiteTimed(options, cli, "fig09_winloss");
     const std::vector<double> lru =
         results.icacheMpki(frontend::PolicyKind::Lru);
 

@@ -22,7 +22,7 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getUint("btb-assoc", 4)));
 
     const core::SuiteResults results =
-        bench::runSuiteTimed(options, cli);
+        bench::runSuiteTimed(options, cli, "fig10_btb_perbench");
 
     std::printf("=== Figure 10: per-benchmark BTB MPKI (%s, %zu traces) "
                 "===\n\n",

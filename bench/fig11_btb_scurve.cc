@@ -30,7 +30,7 @@ main(int argc, char **argv)
         static_cast<std::uint32_t>(cli.getUint("btb-assoc", 8)));
 
     const core::SuiteResults results =
-        bench::runSuiteTimed(options, cli);
+        bench::runSuiteTimed(options, cli, "fig11_btb_scurve");
 
     const std::vector<double> lru =
         results.btbMpki(frontend::PolicyKind::Lru);

@@ -12,7 +12,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+
+#include "report/report.hh"
 
 #include "cache/basic_policies.hh"
 #include "cache/cache.hh"
@@ -262,6 +266,65 @@ BM_TraceStoreWarm(benchmark::State &state)
 }
 BENCHMARK(BM_TraceStoreWarm)->Unit(benchmark::kMillisecond);
 
+/**
+ * Console reporter that additionally collects each benchmark's
+ * adjusted real time, so the binary can emit a ghrp-run-report beside
+ * google-benchmark's own output formats.
+ */
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<std::pair<std::string, double>> metrics;
+
+    void
+    ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs)
+            if (!run.error_occurred && run.run_type == Run::RT_Iteration)
+                metrics.emplace_back(run.benchmark_name(),
+                                     run.GetAdjustedRealTime());
+        ConsoleReporter::ReportRuns(runs);
+    }
+};
+
 } // anonymous namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off --report FILE / --report=FILE before google-benchmark
+    // sees the command line (it rejects unknown flags).
+    std::string report_file;
+    std::vector<char *> args;
+    args.reserve(static_cast<std::size_t>(argc));
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--report") == 0 && i + 1 < argc) {
+            report_file = argv[++i];
+        } else if (std::strncmp(argv[i], "--report=", 9) == 0) {
+            report_file = argv[i] + 9;
+        } else {
+            args.push_back(argv[i]);
+        }
+    }
+    if (report_file.empty())
+        if (const char *dir = std::getenv("GHRP_REPORT_DIR"); dir && *dir)
+            report_file =
+                std::string(dir) + "/micro_policy_overhead.json";
+
+    int bench_argc = static_cast<int>(args.size());
+    benchmark::Initialize(&bench_argc, args.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+        return 1;
+
+    CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    if (!report_file.empty()) {
+        ghrp::report::ReportBuilder builder("micro_policy_overhead");
+        for (const auto &[name, seconds] : reporter.metrics)
+            builder.addMetric(name, seconds);
+        builder.finish().write(report_file);
+        std::fprintf(stderr, "[report] wrote %s\n", report_file.c_str());
+    }
+    return 0;
+}

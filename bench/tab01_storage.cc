@@ -8,7 +8,7 @@
 
 #include <cstdio>
 
-#include "core/cli.hh"
+#include "bench_common.hh"
 #include "core/storage.hh"
 #include "stats/table.hh"
 
@@ -39,7 +39,6 @@ int
 main(int argc, char **argv)
 {
     core::CliOptions cli(argc, argv);
-    (void)cli;
 
     std::printf("=== Table I: storage requirements ===\n\n");
 
@@ -47,22 +46,38 @@ main(int argc, char **argv)
     predictor::SdbpConfig sdbp_cfg;
 
     const cache::CacheConfig icache64 = cache::CacheConfig::icache(64, 8);
+    const core::StorageBudget ghrp64 =
+        core::ghrpStorage(icache64, ghrp_cfg, 4096);
+    const core::StorageBudget sdbp64 =
+        core::sdbpStorage(icache64, sdbp_cfg);
     printBudget("GHRP, 64KB 8-way I-cache (64B blocks) + 4K-entry BTB",
-                core::ghrpStorage(icache64, ghrp_cfg, 4096),
-                icache64.sizeBytes);
-    printBudget("adapted SDBP, 64KB 8-way I-cache (64B blocks)",
-                core::sdbpStorage(icache64, sdbp_cfg),
+                ghrp64, icache64.sizeBytes);
+    printBudget("adapted SDBP, 64KB 8-way I-cache (64B blocks)", sdbp64,
                 icache64.sizeBytes);
 
     // The Exynos M1 example of Section III-B: 64KB with 128B blocks.
     const cache::CacheConfig exynos = cache::CacheConfig::icache(64, 8, 128);
+    const core::StorageBudget ghrp_exynos =
+        core::ghrpStorage(exynos, ghrp_cfg, 0);
     printBudget("GHRP, Exynos-M1-style 64KB I-cache (128B blocks)",
-                core::ghrpStorage(exynos, ghrp_cfg, 0),
-                exynos.sizeBytes);
+                ghrp_exynos, exynos.sizeBytes);
 
     std::printf("paper: GHRP adds ~5KB of metadata+tables (about 8%% of "
                 "a 64KB I-cache);\nthe modified SDBP needs considerably "
                 "more because of its full-size sampler\nand wider "
                 "counters.\n");
+
+    report::ReportBuilder builder("tab01_storage");
+    builder.addMetric("ghrp_64kb_total_kib", ghrp64.totalKiB());
+    builder.addMetric("ghrp_64kb_overhead_pct",
+                      ghrp64.overheadFraction(icache64.sizeBytes) * 100.0);
+    builder.addMetric("sdbp_64kb_total_kib", sdbp64.totalKiB());
+    builder.addMetric("sdbp_64kb_overhead_pct",
+                      sdbp64.overheadFraction(icache64.sizeBytes) * 100.0);
+    builder.addMetric("ghrp_exynos_total_kib", ghrp_exynos.totalKiB());
+    builder.addMetric("ghrp_exynos_overhead_pct",
+                      ghrp_exynos.overheadFraction(exynos.sizeBytes) *
+                          100.0);
+    bench::maybeWriteReport(cli, builder.finish());
     return 0;
 }

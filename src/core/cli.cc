@@ -67,4 +67,34 @@ CliOptions::has(const std::string &name) const
     return values.count(name) != 0;
 }
 
+const std::vector<CliFlag> &
+knownCliFlags()
+{
+    static const std::vector<CliFlag> flags = {
+        {"traces", "suite size (number of synthetic traces)"},
+        {"instructions", "per-trace dynamic instruction override"},
+        {"seed", "suite base seed"},
+        {"jobs",
+         "sweep worker threads (0 = hardware concurrency, 1 = serial)"},
+        {"trace-cache",
+         "content-addressed trace store directory (or GHRP_TRACE_CACHE)"},
+        {"leg-times", "print the per-leg wall-time table"},
+        {"quiet", "suppress progress and throughput reporting"},
+        {"report",
+         "write a versioned JSON run report to FILE (or GHRP_REPORT_DIR)"},
+        {"kb", "I-cache size in KiB"},
+        {"assoc", "I-cache associativity"},
+        {"btb-entries", "BTB entry count"},
+        {"btb-assoc", "BTB associativity"},
+        {"policy", "replacement policy name (LRU, SRRIP, GHRP, ...)"},
+        {"category", "workload category for single-trace tools"},
+        {"tolerance", "win/similar/worse relative tolerance"},
+        {"generate", "trace-tool mode: generate a trace file"},
+        {"replay", "trace-tool mode: replay a trace file"},
+        {"info", "trace-tool mode: print trace metadata"},
+        {"pgm", "heat-map tools: write PGM images"},
+    };
+    return flags;
+}
+
 } // namespace ghrp::core

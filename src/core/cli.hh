@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace ghrp::core
 {
@@ -21,9 +22,13 @@ class CliOptions
 {
   public:
     /**
-     * Parse argv. Recognized flags: "--name value" and "--flag" (bare
-     * booleans). Unknown flags are fatal() so typos do not silently
-     * run the default experiment.
+     * Parse argv. Accepted shapes: "--name value", "--name=value" and
+     * "--flag" (bare booleans). The parser is permissive — any --name
+     * is stored and binaries read only the flags they know — but a
+     * non-flag positional argument is fatal(). The registry of flags
+     * the bench/example binaries actually consume is knownCliFlags();
+     * the docs checker test verifies every flag mentioned in the
+     * Markdown docs against it.
      */
     CliOptions(int argc, char **argv);
 
@@ -44,6 +49,21 @@ class CliOptions
   private:
     std::map<std::string, std::string> values;
 };
+
+/** One entry of the known-flag registry. */
+struct CliFlag
+{
+    std::string name;   ///< without the leading "--"
+    std::string usage;  ///< one-line description
+};
+
+/**
+ * Every --flag consumed by the bench and example binaries, with its
+ * usage string. Documentation lives or dies by this list: the docs
+ * checker (tests/report/test_docs.cc) fails when README/DESIGN/
+ * EXPERIMENTS mention a flag that is not registered here.
+ */
+const std::vector<CliFlag> &knownCliFlags();
 
 } // namespace ghrp::core
 

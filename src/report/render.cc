@@ -1,0 +1,301 @@
+#include "report/render.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "stats/table.hh"
+
+namespace ghrp::report
+{
+
+namespace
+{
+
+std::string
+fmt(const char *format, double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), format, value);
+    return buf;
+}
+
+std::string
+mpkiCell(double value)
+{
+    return fmt("%.2f", value);
+}
+
+std::string
+pctCell(const RelToLru &rel)
+{
+    if (!rel.present)
+        return "-";
+    return fmt("%+.1f%%", rel.meanPct);
+}
+
+/** Paper baseline for one policy row of a headline table. */
+struct PaperRow
+{
+    const char *policy;
+    const char *mpki;
+    const char *vsLru;
+};
+
+/** One headline experiment: which structure it reports and the
+ *  paper's numbers (Figures 3 and 11, suite means). */
+struct HeadlineSpec
+{
+    const char *experiment;
+    bool useBtb;
+    std::vector<PaperRow> paper;
+};
+
+const std::vector<HeadlineSpec> &
+headlineSpecs()
+{
+    static const std::vector<HeadlineSpec> specs = {
+        {"fig03_icache_scurve",
+         false,
+         {{"LRU", "1.05", "-"},
+          {"Random", "1.14", "+8.6%"},
+          {"SRRIP", "1.02", "-2.9%"},
+          {"SDBP", "1.10", "+4.8%"},
+          {"GHRP", "0.86", "-18.1%"}}},
+        {"fig11_btb_scurve",
+         true,
+         {{"LRU", "4.58", "-"},
+          {"Random", "4.81", "+5.0%"},
+          {"SRRIP", "4.17", "-9.0%"},
+          {"SDBP", "4.57", "-0.2%"},
+          {"GHRP", "3.21", "-30.0%"}}},
+    };
+    return specs;
+}
+
+const HeadlineSpec *
+findHeadline(const std::string &experiment)
+{
+    for (const HeadlineSpec &spec : headlineSpecs())
+        if (experiment == spec.experiment)
+            return &spec;
+    return nullptr;
+}
+
+std::string
+headlineTable(const RunReport &report, const HeadlineSpec &spec)
+{
+    stats::TextTable table({"policy", "paper MPKI", "paper vs LRU",
+                            "measured MPKI", "measured vs LRU"});
+    for (const PolicySummary &p : report.policies) {
+        const PaperRow *paper = nullptr;
+        for (const PaperRow &row : spec.paper)
+            if (p.policy == row.policy)
+                paper = &row;
+        const double measured =
+            spec.useBtb ? p.btbMeanMpki : p.icacheMeanMpki;
+        const RelToLru &rel = spec.useBtb ? p.btbVsLru : p.icacheVsLru;
+        table.addRow({p.policy, paper ? paper->mpki : "-",
+                      paper ? paper->vsLru : "-", mpkiCell(measured),
+                      pctCell(rel)});
+    }
+    return table.renderMarkdown();
+}
+
+std::string
+genericPolicyTable(const RunReport &report)
+{
+    stats::TextTable table({"policy", "I-cache MPKI", "vs LRU",
+                            "BTB MPKI", "vs LRU"});
+    for (const PolicySummary &p : report.policies)
+        table.addRow({p.policy, mpkiCell(p.icacheMeanMpki),
+                      pctCell(p.icacheVsLru), mpkiCell(p.btbMeanMpki),
+                      pctCell(p.btbVsLru)});
+    return table.renderMarkdown();
+}
+
+std::string
+metricsTable(const RunReport &report)
+{
+    stats::TextTable table({"metric", "value"});
+    for (const auto &[name, value] : report.metrics)
+        table.addRow({name, fmt("%.6g", value)});
+    return table.renderMarkdown();
+}
+
+} // anonymous namespace
+
+std::string
+beginMarker(const std::string &experiment)
+{
+    return "<!-- ghrp-report:" + experiment + ":begin -->";
+}
+
+std::string
+endMarker(const std::string &experiment)
+{
+    return "<!-- ghrp-report:" + experiment + ":end -->";
+}
+
+std::string
+renderBlock(const RunReport &report)
+{
+    std::string table;
+    if (const HeadlineSpec *spec = findHeadline(report.experiment))
+        table = headlineTable(report, *spec);
+    else if (!report.policies.empty())
+        table = genericPolicyTable(report);
+    else
+        table = metricsTable(report);
+    return beginMarker(report.experiment) + "\n" + table +
+           endMarker(report.experiment);
+}
+
+bool
+spliceBlock(std::string &document, const RunReport &report)
+{
+    const std::string begin = beginMarker(report.experiment);
+    const std::string end = endMarker(report.experiment);
+    const std::size_t begin_pos = document.find(begin);
+    if (begin_pos == std::string::npos)
+        return false;
+    const std::size_t end_pos = document.find(end, begin_pos);
+    if (end_pos == std::string::npos)
+        return false;
+    document.replace(begin_pos, end_pos + end.size() - begin_pos,
+                     renderBlock(report));
+    return true;
+}
+
+DiffResult
+diffReports(const RunReport &baseline, const RunReport &candidate,
+            const DiffOptions &options)
+{
+    DiffResult result;
+    result.checked = options.check;
+
+    std::map<std::string, const PolicySummary *> base_by_name;
+    for (const PolicySummary &p : baseline.policies)
+        base_by_name[p.policy] = &p;
+
+    stats::TextTable table({"policy", "I$ base", "I$ cand", "I$ delta",
+                            "BTB base", "BTB cand", "BTB delta"});
+    for (const PolicySummary &cand : candidate.policies) {
+        auto it = base_by_name.find(cand.policy);
+        if (it == base_by_name.end()) {
+            result.mpkiChanged = true;
+            table.addRow({cand.policy, "-", mpkiCell(cand.icacheMeanMpki),
+                          "new", "-", mpkiCell(cand.btbMeanMpki), "new"});
+            continue;
+        }
+        const PolicySummary &base = *it->second;
+        const double icache_delta =
+            cand.icacheMeanMpki - base.icacheMeanMpki;
+        const double btb_delta = cand.btbMeanMpki - base.btbMeanMpki;
+        if (std::abs(icache_delta) > options.mpkiEpsilon ||
+            std::abs(btb_delta) > options.mpkiEpsilon)
+            result.mpkiChanged = true;
+        table.addRow({cand.policy, mpkiCell(base.icacheMeanMpki),
+                      mpkiCell(cand.icacheMeanMpki),
+                      fmt("%+.4f", icache_delta),
+                      mpkiCell(base.btbMeanMpki),
+                      mpkiCell(cand.btbMeanMpki),
+                      fmt("%+.4f", btb_delta)});
+        base_by_name.erase(it);
+    }
+    for (const auto &[name, p] : base_by_name) {
+        result.mpkiChanged = true;
+        table.addRow({name, mpkiCell(p->icacheMeanMpki), "-", "removed",
+                      mpkiCell(p->btbMeanMpki), "-", "removed"});
+    }
+
+    std::string text = "diff " + baseline.runId + " -> " +
+                       candidate.runId + " (" + candidate.experiment +
+                       ")\n";
+    if (candidate.policies.empty() && baseline.policies.empty()) {
+        // Metric-only reports: compare the named metrics instead.
+        std::map<std::string, double> base_metrics(
+            baseline.metrics.begin(), baseline.metrics.end());
+        stats::TextTable mtable({"metric", "base", "cand", "delta"});
+        for (const auto &[name, value] : candidate.metrics) {
+            auto it = base_metrics.find(name);
+            const bool known = it != base_metrics.end();
+            const double delta = known ? value - it->second : 0.0;
+            if (!known || std::abs(delta) > options.mpkiEpsilon)
+                result.mpkiChanged = true;
+            mtable.addRow({name, known ? fmt("%.6g", it->second) : "-",
+                           fmt("%.6g", value),
+                           known ? fmt("%+.6g", delta) : "new"});
+        }
+        text += mtable.render();
+    } else {
+        text += table.render();
+    }
+
+    const double base_tp = baseline.sweep.legsPerSec;
+    const double cand_tp = candidate.sweep.legsPerSec;
+    if (base_tp > 0.0 && cand_tp > 0.0) {
+        const double change_pct = (cand_tp - base_tp) / base_tp * 100.0;
+        text += "throughput: base " + fmt("%.2f", base_tp) +
+                " legs/s, candidate " + fmt("%.2f", cand_tp) +
+                " legs/s (" + fmt("%+.1f%%", change_pct) + ")\n";
+        if (change_pct < -options.maxRegressPct)
+            result.throughputRegressed = true;
+    } else {
+        text += "throughput: not comparable (missing sweep timing)\n";
+    }
+
+    if (options.check) {
+        text += result.mpkiChanged
+                    ? "[check] FAIL: MPKI changed (simulation is "
+                      "deterministic; any delta is a code change)\n"
+                    : "[check] MPKI: OK\n";
+        text += result.throughputRegressed
+                    ? "[check] FAIL: throughput regressed beyond " +
+                          fmt("%.1f%%", options.maxRegressPct) + "\n"
+                    : "[check] throughput: OK (gate " +
+                          fmt("%.1f%%", options.maxRegressPct) + ")\n";
+    }
+    result.text = std::move(text);
+    return result;
+}
+
+std::vector<std::pair<std::string, Json>>
+trajectoryPoints(const RunReport &report)
+{
+    std::vector<std::pair<std::string, Json>> points;
+    const auto add = [&](std::string name, const char *unit,
+                         double value) {
+        for (char &c : name)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        Json j = Json::object();
+        j.set("name", name);
+        j.set("unit", unit);
+        j.set("value", value);
+        points.emplace_back(std::move(name), std::move(j));
+    };
+
+    if (report.sweep.legsPerSec > 0.0) {
+        add(report.experiment + "_legs_per_sec", "legs/s",
+            report.sweep.legsPerSec);
+        add(report.experiment + "_minstr_per_sec", "Minstr/s",
+            report.sweep.mInstrPerSec);
+    }
+    for (const PolicySummary &p : report.policies) {
+        std::string policy = p.policy;
+        for (char &c : policy)
+            c = static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        add(report.experiment + "_" + policy + "_icache_mpki", "MPKI",
+            p.icacheMeanMpki);
+        add(report.experiment + "_" + policy + "_btb_mpki", "MPKI",
+            p.btbMeanMpki);
+    }
+    for (const auto &[name, value] : report.metrics)
+        add(report.experiment + "_" + name, "", value);
+    return points;
+}
+
+} // namespace ghrp::report

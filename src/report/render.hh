@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Consumers of run reports: the Markdown renderer that regenerates the
+ * EXPERIMENTS.md headline tables (byte-for-byte, inside
+ * `<!-- ghrp-report:<experiment>:begin/end -->` markers), the
+ * two-report diff with a CI regression gate, and trajectory-point
+ * extraction for benchmark tracking.
+ */
+
+#ifndef GHRP_REPORT_RENDER_HH
+#define GHRP_REPORT_RENDER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "report/report.hh"
+
+namespace ghrp::report
+{
+
+/** Marker line opening the rendered block of @p experiment. */
+std::string beginMarker(const std::string &experiment);
+
+/** Marker line closing the rendered block of @p experiment. */
+std::string endMarker(const std::string &experiment);
+
+/**
+ * Render the report's Markdown block, including the begin/end marker
+ * lines. For the headline experiments (fig03_icache_scurve,
+ * fig11_btb_scurve) this is the paper-vs-measured table with the
+ * paper's baselines embedded; other experiments get a generic
+ * per-policy summary table, or a metrics table when the report carries
+ * only free-form metrics. Deterministic: identical reports render to
+ * identical bytes.
+ */
+std::string renderBlock(const RunReport &report);
+
+/**
+ * Replace the marked block of @p report inside @p document (the full
+ * EXPERIMENTS.md text). Returns true and rewrites the block in place
+ * when both markers are found; returns false (document untouched)
+ * otherwise.
+ */
+bool spliceBlock(std::string &document, const RunReport &report);
+
+/** Options for diffReports(). */
+struct DiffOptions
+{
+    /** Enforce the gates: MPKI must not change, throughput must not
+     *  regress by more than maxRegressPct. */
+    bool check = false;
+    /** Allowed legs/s regression, percent of the baseline. */
+    double maxRegressPct = 5.0;
+    /** MPKI differences at or below this are treated as unchanged. */
+    double mpkiEpsilon = 1e-9;
+};
+
+/** Outcome of diffReports(). */
+struct DiffResult
+{
+    std::string text;  ///< human-readable diff table + verdict lines
+    bool mpkiChanged = false;
+    bool throughputRegressed = false;
+
+    /** Gate verdict (always true when DiffOptions::check is off). */
+    bool checked = false;
+    bool
+    ok() const
+    {
+        return !checked || (!mpkiChanged && !throughputRegressed);
+    }
+};
+
+/**
+ * Compare two reports: per-policy I-cache/BTB mean-MPKI deltas
+ * (policies matched by name) and sweep throughput. With
+ * options.check, any MPKI change beyond epsilon or a legs/s drop
+ * beyond maxRegressPct fails the gate — MPKI is bit-deterministic
+ * across hosts, throughput is not, hence the split thresholds.
+ */
+DiffResult diffReports(const RunReport &baseline, const RunReport &candidate,
+                       const DiffOptions &options = {});
+
+/**
+ * Extract benchmark trajectory points: sweep throughput plus each
+ * policy's mean MPKI, as (name, value-document) pairs. The CLI writes
+ * each pair to BENCH_<name>.json.
+ */
+std::vector<std::pair<std::string, Json>>
+trajectoryPoints(const RunReport &report);
+
+} // namespace ghrp::report
+
+#endif // GHRP_REPORT_RENDER_HH

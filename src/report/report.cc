@@ -1,0 +1,630 @@
+#include "report/report.hh"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "stats/confidence.hh"
+#include "util/thread_pool.hh"
+
+// Configure-time provenance, injected by src/report/CMakeLists.txt.
+#ifndef GHRP_GIT_DESCRIBE
+#define GHRP_GIT_DESCRIBE "unknown"
+#endif
+#ifndef GHRP_BUILD_TYPE
+#define GHRP_BUILD_TYPE "unknown"
+#endif
+#ifndef GHRP_CXX_FLAGS
+#define GHRP_CXX_FLAGS ""
+#endif
+
+namespace ghrp::report
+{
+
+namespace
+{
+
+const char *
+directionName(frontend::DirectionKind kind)
+{
+    switch (kind) {
+    case frontend::DirectionKind::HashedPerceptron:
+        return "hashed-perceptron";
+    case frontend::DirectionKind::Gshare: return "gshare";
+    case frontend::DirectionKind::Bimodal: return "bimodal";
+    }
+    return "unknown";
+}
+
+std::string
+compilerString()
+{
+#if defined(__clang__)
+    return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+    return std::string("gcc ") + __VERSION__;
+#else
+    return "unknown";
+#endif
+}
+
+std::string
+hostnameString()
+{
+#ifndef _WIN32
+    char buf[256] = {};
+    if (gethostname(buf, sizeof(buf) - 1) == 0 && buf[0])
+        return buf;
+#endif
+    return "unknown";
+}
+
+std::vector<std::pair<std::string, std::string>>
+captureBuild()
+{
+    return {
+        {"gitDescribe", GHRP_GIT_DESCRIBE},
+        {"buildType", GHRP_BUILD_TYPE},
+        {"cxxFlags", GHRP_CXX_FLAGS},
+        {"compiler", compilerString()},
+        {"cxxStandard", std::to_string(__cplusplus)},
+    };
+}
+
+std::vector<std::pair<std::string, std::string>>
+captureEnvironment()
+{
+#if defined(__linux__)
+    const char *os = "linux";
+#elif defined(__APPLE__)
+    const char *os = "darwin";
+#else
+    const char *os = "unknown";
+#endif
+    return {
+        {"hostname", hostnameString()},
+        {"os", os},
+        {"pointerBits", std::to_string(sizeof(void *) * 8)},
+        {"hardwareJobs",
+         std::to_string(util::ThreadPool::hardwareJobs())},
+    };
+}
+
+void
+stamp(RunReport &report)
+{
+    report.createdUnix = std::chrono::duration_cast<std::chrono::seconds>(
+                             std::chrono::system_clock::now()
+                                 .time_since_epoch())
+                             .count();
+    long pid = 0;
+#ifndef _WIN32
+    pid = static_cast<long>(getpid());
+#endif
+    report.runId = report.experiment + "-" +
+                   std::to_string(report.createdUnix) + "-" +
+                   std::to_string(pid);
+    report.build = captureBuild();
+    report.environment = captureEnvironment();
+}
+
+Json
+counterSetToJson(const CounterSet &c)
+{
+    Json j = Json::object();
+    j.set("accesses", c.accesses);
+    j.set("hits", c.hits);
+    j.set("misses", c.misses);
+    j.set("bypasses", c.bypasses);
+    j.set("evictions", c.evictions);
+    j.set("deadEvictions", c.deadEvictions);
+    j.set("mpki", c.mpki);
+    return j;
+}
+
+CounterSet
+counterSetFromJson(const Json &j)
+{
+    CounterSet c;
+    c.accesses = j.at("accesses").asUint();
+    c.hits = j.at("hits").asUint();
+    c.misses = j.at("misses").asUint();
+    c.bypasses = j.at("bypasses").asUint();
+    c.evictions = j.at("evictions").asUint();
+    c.deadEvictions = j.at("deadEvictions").asUint();
+    c.mpki = j.at("mpki").asDouble();
+    return c;
+}
+
+Json
+legToJson(const Leg &leg)
+{
+    Json j = Json::object();
+    j.set("trace", leg.trace);
+    j.set("policy", leg.policy);
+    j.set("seconds", leg.seconds);
+
+    Json instr = Json::object();
+    instr.set("total", leg.totalInstructions);
+    instr.set("warmup", leg.warmupInstructions);
+    instr.set("measured", leg.measuredInstructions);
+    j.set("instructions", std::move(instr));
+
+    j.set("icache", counterSetToJson(leg.icache));
+    j.set("btb", counterSetToJson(leg.btb));
+
+    Json branch = Json::object();
+    branch.set("condBranches", leg.condBranches);
+    branch.set("condMispredicts", leg.condMispredicts);
+    branch.set("btbTargetMismatches", leg.btbTargetMismatches);
+    branch.set("rasReturns", leg.rasReturns);
+    branch.set("rasMispredicts", leg.rasMispredicts);
+    branch.set("indirectBranches", leg.indirectBranches);
+    branch.set("indirectMispredicts", leg.indirectMispredicts);
+    j.set("branch", std::move(branch));
+    return j;
+}
+
+Leg
+legFromJson(const Json &j)
+{
+    Leg leg;
+    leg.trace = j.at("trace").asString();
+    leg.policy = j.at("policy").asString();
+    leg.seconds = j.at("seconds").asDouble();
+    const Json &instr = j.at("instructions");
+    leg.totalInstructions = instr.at("total").asUint();
+    leg.warmupInstructions = instr.at("warmup").asUint();
+    leg.measuredInstructions = instr.at("measured").asUint();
+    leg.icache = counterSetFromJson(j.at("icache"));
+    leg.btb = counterSetFromJson(j.at("btb"));
+    const Json &branch = j.at("branch");
+    leg.condBranches = branch.at("condBranches").asUint();
+    leg.condMispredicts = branch.at("condMispredicts").asUint();
+    leg.btbTargetMismatches = branch.at("btbTargetMismatches").asUint();
+    leg.rasReturns = branch.at("rasReturns").asUint();
+    leg.rasMispredicts = branch.at("rasMispredicts").asUint();
+    leg.indirectBranches = branch.at("indirectBranches").asUint();
+    leg.indirectMispredicts = branch.at("indirectMispredicts").asUint();
+    return leg;
+}
+
+Json
+relToJson(const RelToLru &rel)
+{
+    Json j = Json::object();
+    j.set("meanPct", rel.meanPct);
+    j.set("ciHalfWidthPct", rel.ciHalfWidthPct);
+    j.set("traces", rel.traces);
+    return j;
+}
+
+RelToLru
+relFromJson(const Json *j)
+{
+    RelToLru rel;
+    if (!j)
+        return rel;
+    rel.present = true;
+    rel.meanPct = j->at("meanPct").asDouble();
+    rel.ciHalfWidthPct = j->at("ciHalfWidthPct").asDouble();
+    rel.traces = j->at("traces").asUint();
+    return rel;
+}
+
+Json
+policyToJson(const PolicySummary &p)
+{
+    Json j = Json::object();
+    j.set("policy", p.policy);
+    Json icache = Json::object();
+    icache.set("meanMpki", p.icacheMeanMpki);
+    if (p.icacheVsLru.present)
+        icache.set("vsLru", relToJson(p.icacheVsLru));
+    j.set("icache", std::move(icache));
+    Json btb = Json::object();
+    btb.set("meanMpki", p.btbMeanMpki);
+    if (p.btbVsLru.present)
+        btb.set("vsLru", relToJson(p.btbVsLru));
+    j.set("btb", std::move(btb));
+    return j;
+}
+
+PolicySummary
+policyFromJson(const Json &j)
+{
+    PolicySummary p;
+    p.policy = j.at("policy").asString();
+    const Json &icache = j.at("icache");
+    p.icacheMeanMpki = icache.at("meanMpki").asDouble();
+    p.icacheVsLru = relFromJson(icache.find("vsLru"));
+    const Json &btb = j.at("btb");
+    p.btbMeanMpki = btb.at("meanMpki").asDouble();
+    p.btbVsLru = relFromJson(btb.find("vsLru"));
+    return p;
+}
+
+Json
+sweepToJson(const SweepStats &s)
+{
+    Json j = Json::object();
+    j.set("wallSeconds", s.wallSeconds);
+    j.set("legs", s.legs);
+    j.set("simulatedInstructions", s.simulatedInstructions);
+    j.set("jobs", s.jobs);
+    j.set("legsPerSec", s.legsPerSec);
+    j.set("mInstrPerSec", s.mInstrPerSec);
+    Json store = Json::object();
+    store.set("enabled", s.traceStoreEnabled);
+    store.set("hits", s.traceStoreHits);
+    store.set("misses", s.traceStoreMisses);
+    store.set("stores", s.traceStoreStores);
+    j.set("traceStore", std::move(store));
+    return j;
+}
+
+SweepStats
+sweepFromJson(const Json *j)
+{
+    SweepStats s;
+    if (!j)
+        return s;
+    s.wallSeconds = j->at("wallSeconds").asDouble();
+    s.legs = j->at("legs").asUint();
+    s.simulatedInstructions = j->at("simulatedInstructions").asUint();
+    s.jobs = static_cast<unsigned>(j->at("jobs").asUint());
+    s.legsPerSec = j->at("legsPerSec").asDouble();
+    s.mInstrPerSec = j->at("mInstrPerSec").asDouble();
+    const Json &store = j->at("traceStore");
+    s.traceStoreEnabled = store.at("enabled").asBool();
+    s.traceStoreHits = store.at("hits").asUint();
+    s.traceStoreMisses = store.at("misses").asUint();
+    s.traceStoreStores = store.at("stores").asUint();
+    return s;
+}
+
+Json
+stringPairsToJson(
+    const std::vector<std::pair<std::string, std::string>> &pairs)
+{
+    Json j = Json::object();
+    for (const auto &[k, v] : pairs)
+        j.set(k, v);
+    return j;
+}
+
+std::vector<std::pair<std::string, std::string>>
+stringPairsFromJson(const Json *j)
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    if (!j)
+        return out;
+    for (const auto &[k, v] : j->asObject())
+        out.emplace_back(k, v.asString());
+    return out;
+}
+
+} // anonymous namespace
+
+Json
+RunReport::toJson() const
+{
+    Json j = Json::object();
+    j.set("schema", kSchemaName);
+    Json version = Json::object();
+    version.set("major", versionMajor);
+    version.set("minor", versionMinor);
+    j.set("version", std::move(version));
+    j.set("runId", runId);
+    j.set("experiment", experiment);
+    j.set("createdUnix", createdUnix);
+    j.set("build", stringPairsToJson(build));
+    j.set("environment", stringPairsToJson(environment));
+    j.set("options", options);
+    j.set("sweep", sweepToJson(sweep));
+
+    Json policy_array = Json::array();
+    for (const PolicySummary &p : policies)
+        policy_array.push(policyToJson(p));
+    j.set("policies", std::move(policy_array));
+
+    Json leg_array = Json::array();
+    for (const Leg &leg : legs)
+        leg_array.push(legToJson(leg));
+    j.set("legs", std::move(leg_array));
+
+    Json metric_obj = Json::object();
+    for (const auto &[name, value] : metrics)
+        metric_obj.set(name, value);
+    j.set("metrics", std::move(metric_obj));
+    return j;
+}
+
+RunReport
+RunReport::fromJson(const Json &json)
+{
+    try {
+        const Json *schema = json.find("schema");
+        if (!schema || schema->asString() != kSchemaName)
+            throw ReportError("not a " + std::string(kSchemaName) +
+                              " document");
+        const Json &version = json.at("version");
+        RunReport report;
+        report.versionMajor =
+            static_cast<int>(version.at("major").asInt());
+        report.versionMinor =
+            static_cast<int>(version.at("minor").asInt());
+        if (report.versionMajor > kSchemaMajor)
+            throw ReportError(
+                "unsupported schema major version " +
+                std::to_string(report.versionMajor) + " (reader supports " +
+                std::to_string(kSchemaMajor) + ")");
+
+        report.experiment = json.at("experiment").asString();
+        if (const Json *v = json.find("runId"))
+            report.runId = v->asString();
+        if (const Json *v = json.find("createdUnix"))
+            report.createdUnix = v->asInt();
+        report.build = stringPairsFromJson(json.find("build"));
+        report.environment = stringPairsFromJson(json.find("environment"));
+        if (const Json *v = json.find("options"))
+            report.options = *v;
+        report.sweep = sweepFromJson(json.find("sweep"));
+        if (const Json *v = json.find("policies"))
+            for (const Json &p : v->asArray())
+                report.policies.push_back(policyFromJson(p));
+        if (const Json *v = json.find("legs"))
+            for (const Json &leg : v->asArray())
+                report.legs.push_back(legFromJson(leg));
+        if (const Json *v = json.find("metrics"))
+            for (const auto &[name, value] : v->asObject())
+                report.metrics.emplace_back(name, value.asDouble());
+        return report;
+    } catch (const JsonError &e) {
+        throw ReportError(std::string("malformed report: ") + e.what());
+    }
+}
+
+void
+RunReport::write(const std::string &path) const
+{
+    std::ofstream file(path);
+    if (!file)
+        throw ReportError("cannot open '" + path + "' for writing");
+    file << toJson().dump(2) << '\n';
+    if (!file)
+        throw ReportError("write to '" + path + "' failed");
+}
+
+RunReport
+RunReport::load(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        throw ReportError("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return fromJson(Json::parse(buffer.str()));
+}
+
+ReportBuilder::ReportBuilder(std::string experiment)
+{
+    report.experiment = std::move(experiment);
+}
+
+void
+ReportBuilder::setOptions(Json options)
+{
+    report.options = std::move(options);
+}
+
+void
+ReportBuilder::addLeg(const std::string &trace, const std::string &label,
+                      const frontend::FrontendResult &result,
+                      double seconds)
+{
+    report.legs.push_back(makeLeg(trace, label, result, seconds));
+}
+
+void
+ReportBuilder::addMetric(std::string name, double value)
+{
+    report.metrics.emplace_back(std::move(name), value);
+}
+
+void
+ReportBuilder::setSweep(double wall_seconds, unsigned jobs,
+                        std::uint64_t legs_override)
+{
+    SweepStats &s = report.sweep;
+    s.wallSeconds = wall_seconds;
+    s.jobs = jobs;
+    s.legs = legs_override ? legs_override : report.legs.size();
+    s.simulatedInstructions = 0;
+    for (const Leg &leg : report.legs)
+        s.simulatedInstructions += leg.totalInstructions;
+    s.legsPerSec = wall_seconds > 0
+                       ? static_cast<double>(s.legs) / wall_seconds
+                       : 0.0;
+    s.mInstrPerSec =
+        wall_seconds > 0
+            ? static_cast<double>(s.simulatedInstructions) /
+                  wall_seconds / 1e6
+            : 0.0;
+}
+
+RunReport
+ReportBuilder::finish()
+{
+    stamp(report);
+    return std::move(report);
+}
+
+Leg
+makeLeg(const std::string &trace, const std::string &label,
+        const frontend::FrontendResult &result, double seconds)
+{
+    Leg leg;
+    leg.trace = trace;
+    leg.policy = label;
+    leg.seconds = seconds;
+    leg.totalInstructions = result.totalInstructions;
+    leg.warmupInstructions = result.warmupInstructions;
+    leg.measuredInstructions = result.measuredInstructions;
+
+    const auto counters = [](const stats::AccessStats &s, double mpki) {
+        CounterSet c;
+        c.accesses = s.accesses;
+        c.hits = s.hits;
+        c.misses = s.misses;
+        c.bypasses = s.bypasses;
+        c.evictions = s.evictions;
+        c.deadEvictions = s.deadEvictions;
+        c.mpki = mpki;
+        return c;
+    };
+    leg.icache = counters(result.icache, result.icacheMpki);
+    leg.btb = counters(result.btb, result.btbMpki);
+
+    leg.condBranches = result.condBranches;
+    leg.condMispredicts = result.condMispredicts;
+    leg.btbTargetMismatches = result.btbTargetMismatches;
+    leg.rasReturns = result.rasReturns;
+    leg.rasMispredicts = result.rasMispredicts;
+    leg.indirectBranches = result.indirectBranches;
+    leg.indirectMispredicts = result.indirectMispredicts;
+    return leg;
+}
+
+namespace
+{
+
+Json
+cacheConfigToJson(const cache::CacheConfig &config)
+{
+    Json j = Json::object();
+    j.set("sizeBytes", config.sizeBytes);
+    j.set("blockBytes", config.blockBytes);
+    j.set("assoc", config.assoc);
+    j.set("describe", config.describe());
+    return j;
+}
+
+Json
+suiteOptionsToJson(const core::SuiteOptions &options)
+{
+    Json j = Json::object();
+    j.set("numTraces", options.numTraces);
+    j.set("baseSeed", options.baseSeed);
+    j.set("instructionOverride", options.instructionOverride);
+    j.set("jobs", options.jobs);
+    j.set("traceCacheDir", options.traceCacheDir);
+    Json policies = Json::array();
+    for (frontend::PolicyKind policy : options.policies)
+        policies.push(frontend::policyName(policy));
+    j.set("policies", std::move(policies));
+    j.set("icache", cacheConfigToJson(options.base.icache));
+    j.set("btb", cacheConfigToJson(options.base.btb));
+    j.set("direction", directionName(options.base.direction));
+    j.set("warmupFraction", options.base.warmupFraction);
+    j.set("warmupCapInstructions", options.base.warmupCapInstructions);
+    j.set("useRas", options.base.useRas);
+    j.set("useIndirectPredictor", options.base.useIndirectPredictor);
+    j.set("nextLinePrefetch", options.base.nextLinePrefetch);
+    j.set("ghrpDedicatedBtb", options.base.ghrpDedicatedBtb);
+    j.set("recoverGhrpHistory", options.base.recoverGhrpHistory);
+    j.set("wrongPathNoise", options.base.wrongPathNoise);
+    j.set("instBytes", options.base.instBytes);
+    return j;
+}
+
+RelToLru
+relStats(const std::vector<double> &series, const std::vector<double> &lru)
+{
+    const std::vector<double> rel =
+        core::SuiteResults::relativeDifference(series, lru);
+    RelToLru out;
+    out.present = true;
+    out.traces = rel.size();
+    if (!rel.empty()) {
+        const stats::ConfidenceInterval ci = stats::meanConfidence(rel);
+        out.meanPct = ci.mean * 100.0;
+        out.ciHalfWidthPct = ci.halfWidth * 100.0;
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+RunReport
+buildSuiteReport(const std::string &experiment,
+                 const core::SuiteOptions &options,
+                 const core::SuiteResults &results)
+{
+    ReportBuilder builder(experiment);
+    builder.setOptions(suiteOptionsToJson(options));
+
+    // Legs in deterministic (policy, trace) order; the per-leg wall
+    // times come from the runner's timing slots.
+    for (const auto &[policy, runs] : results.results) {
+        const auto &seconds = results.legSeconds.at(policy);
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            builder.addLeg(results.specs[i].name,
+                           frontend::policyName(policy), runs[i],
+                           i < seconds.size() ? seconds[i] : 0.0);
+    }
+
+    RunReport report = builder.finish();
+
+    const bool has_lru =
+        results.results.count(frontend::PolicyKind::Lru) != 0;
+    const std::vector<double> lru_icache =
+        has_lru ? results.icacheMpki(frontend::PolicyKind::Lru)
+                : std::vector<double>{};
+    const std::vector<double> lru_btb =
+        has_lru ? results.btbMpki(frontend::PolicyKind::Lru)
+                : std::vector<double>{};
+
+    for (frontend::PolicyKind policy : options.policies) {
+        if (!results.results.count(policy))
+            continue;
+        PolicySummary summary;
+        summary.policy = frontend::policyName(policy);
+        const std::vector<double> icache = results.icacheMpki(policy);
+        const std::vector<double> btb = results.btbMpki(policy);
+        summary.icacheMeanMpki = core::SuiteResults::mean(icache);
+        summary.btbMeanMpki = core::SuiteResults::mean(btb);
+        if (has_lru && policy != frontend::PolicyKind::Lru) {
+            summary.icacheVsLru = relStats(icache, lru_icache);
+            summary.btbVsLru = relStats(btb, lru_btb);
+        }
+        report.policies.push_back(std::move(summary));
+    }
+
+    SweepStats &sweep = report.sweep;
+    sweep.wallSeconds = results.wallSeconds;
+    sweep.legs = results.totalLegs();
+    sweep.simulatedInstructions = results.simulatedInstructions();
+    sweep.jobs = options.jobs ? options.jobs
+                              : util::ThreadPool::hardwareJobs();
+    sweep.legsPerSec = sweep.wallSeconds > 0
+                           ? static_cast<double>(sweep.legs) /
+                                 sweep.wallSeconds
+                           : 0.0;
+    sweep.mInstrPerSec =
+        sweep.wallSeconds > 0
+            ? static_cast<double>(sweep.simulatedInstructions) /
+                  sweep.wallSeconds / 1e6
+            : 0.0;
+    sweep.traceStoreEnabled = results.traceStoreEnabled;
+    sweep.traceStoreHits = results.traceStore.hits;
+    sweep.traceStoreMisses = results.traceStore.misses;
+    sweep.traceStoreStores = results.traceStore.stores;
+    return report;
+}
+
+} // namespace ghrp::report

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Versioned machine-readable run reports: every bench binary can
+ * serialize what it measured — environment and build provenance, the
+ * full suite options, per-leg counters and wall times, per-policy
+ * aggregates with confidence intervals, and free-form experiment
+ * metrics — into one JSON document that `ghrp-report` renders, diffs
+ * and gates on. The reports are the source of record for
+ * EXPERIMENTS.md: the committed headline tables are regenerated from
+ * the seed reports under reports/seed/ and drift-checked in CI.
+ *
+ * Schema compatibility rule: readers ignore unknown fields (minor
+ * additions are free) and reject documents whose major version is
+ * above the one they were built with.
+ */
+
+#ifndef GHRP_REPORT_REPORT_HH
+#define GHRP_REPORT_REPORT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/runner.hh"
+#include "frontend/frontend.hh"
+#include "report/json.hh"
+
+namespace ghrp::report
+{
+
+/** Thrown on schema violations (bad version, missing members). */
+struct ReportError : std::runtime_error
+{
+    explicit ReportError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Schema identity; bump major only on incompatible layout changes. */
+inline constexpr char kSchemaName[] = "ghrp-run-report";
+inline constexpr int kSchemaMajor = 1;
+inline constexpr int kSchemaMinor = 0;
+
+/** Counters of one cache-like structure in one leg. */
+struct CounterSet
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t bypasses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t deadEvictions = 0;
+    double mpki = 0.0;
+};
+
+/** One simulated (trace, policy/variant) leg. */
+struct Leg
+{
+    std::string trace;
+    std::string policy;  ///< policy or variant label
+    double seconds = 0.0;  ///< leg wall time (0 when not measured)
+
+    std::uint64_t totalInstructions = 0;
+    std::uint64_t warmupInstructions = 0;
+    std::uint64_t measuredInstructions = 0;
+
+    CounterSet icache;
+    CounterSet btb;
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t btbTargetMismatches = 0;
+    std::uint64_t rasReturns = 0;
+    std::uint64_t rasMispredicts = 0;
+    std::uint64_t indirectBranches = 0;
+    std::uint64_t indirectMispredicts = 0;
+};
+
+/** Relative-to-LRU statistics of one structure, in percent. */
+struct RelToLru
+{
+    bool present = false;   ///< false for the LRU row itself
+    double meanPct = 0.0;   ///< mean per-trace relative difference
+    double ciHalfWidthPct = 0.0;  ///< 95% CI half width of the mean
+    std::uint64_t traces = 0;     ///< traces entering the statistic
+};
+
+/** Suite-level aggregate for one policy. */
+struct PolicySummary
+{
+    std::string policy;
+    double icacheMeanMpki = 0.0;
+    double btbMeanMpki = 0.0;
+    RelToLru icacheVsLru;
+    RelToLru btbVsLru;
+};
+
+/** Sweep-level wall-clock and throughput accounting. */
+struct SweepStats
+{
+    double wallSeconds = 0.0;
+    std::uint64_t legs = 0;
+    std::uint64_t simulatedInstructions = 0;
+    unsigned jobs = 0;
+    double legsPerSec = 0.0;
+    double mInstrPerSec = 0.0;
+    bool traceStoreEnabled = false;
+    std::uint64_t traceStoreHits = 0;
+    std::uint64_t traceStoreMisses = 0;
+    std::uint64_t traceStoreStores = 0;
+};
+
+/** One complete run report (schema root). */
+struct RunReport
+{
+    int versionMajor = kSchemaMajor;
+    int versionMinor = kSchemaMinor;
+    std::string runId;
+    std::string experiment;
+    std::int64_t createdUnix = 0;
+
+    /** Build provenance: git describe, build type, compiler, flags. */
+    std::vector<std::pair<std::string, std::string>> build;
+    /** Host capture: hostname, OS, hardware concurrency, ... */
+    std::vector<std::pair<std::string, std::string>> environment;
+
+    /** Full options of the run (suite options or binary-specific). */
+    Json options = Json::object();
+
+    SweepStats sweep;
+    std::vector<PolicySummary> policies;
+    std::vector<Leg> legs;
+    /** Free-form named numbers for experiments without suite legs. */
+    std::vector<std::pair<std::string, double>> metrics;
+
+    Json toJson() const;
+
+    /**
+     * Parse a report document. Unknown fields are ignored; a major
+     * version above kSchemaMajor, a wrong schema name or a missing
+     * required member throws ReportError.
+     */
+    static RunReport fromJson(const Json &json);
+
+    /** Serialize to @p path (pretty-printed, trailing newline). */
+    void write(const std::string &path) const;
+
+    /** Load and parse @p path; throws ReportError / JsonError. */
+    static RunReport load(const std::string &path);
+};
+
+/**
+ * Incremental report assembly for bench binaries whose sweep does not
+ * go through core::runSuite. finish() stamps run ID, schema version,
+ * creation time and build/environment capture.
+ */
+class ReportBuilder
+{
+  public:
+    explicit ReportBuilder(std::string experiment);
+
+    /** Replace the options subtree (any JSON object). */
+    void setOptions(Json options);
+
+    /** Append one simulated leg. */
+    void addLeg(const std::string &trace, const std::string &label,
+                const frontend::FrontendResult &result,
+                double seconds = 0.0);
+
+    /** Append one free-form metric. */
+    void addMetric(std::string name, double value);
+
+    /** Record sweep timing; legs/instruction totals come from the legs
+     *  added so far, so call this after the last addLeg(). Metric-only
+     *  reports (no addLeg) pass their simulation count via
+     *  @p legs_override. */
+    void setSweep(double wall_seconds, unsigned jobs,
+                  std::uint64_t legs_override = 0);
+
+    /** Finalize. The builder is left in a moved-from state. */
+    RunReport finish();
+
+  private:
+    RunReport report;
+};
+
+/** Convert one FrontendResult into a leg record. */
+Leg makeLeg(const std::string &trace, const std::string &label,
+            const frontend::FrontendResult &result, double seconds = 0.0);
+
+/**
+ * Build the standard suite report from a core::runSuite sweep:
+ * captures options, every (trace, policy) leg with its wall time,
+ * per-policy aggregates with 95% CIs of the relative difference vs
+ * LRU (when LRU ran), and sweep throughput.
+ */
+RunReport buildSuiteReport(const std::string &experiment,
+                           const core::SuiteOptions &options,
+                           const core::SuiteResults &results);
+
+} // namespace ghrp::report
+
+#endif // GHRP_REPORT_REPORT_HH

@@ -66,6 +66,39 @@ TextTable::render() const
 }
 
 std::string
+TextTable::renderMarkdown() const
+{
+    std::vector<std::size_t> widths(header.size());
+    for (std::size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit_row = [&](const std::vector<std::string> &row,
+                        std::string &out) {
+        out.push_back('|');
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out.push_back(' ');
+            out += row[c];
+            out.append(widths[c] - row[c].size() + 1, ' ');
+            out.push_back('|');
+        }
+        out.push_back('\n');
+    };
+
+    std::string out;
+    emit_row(header, out);
+    out.push_back('|');
+    for (std::size_t c = 0; c < header.size(); ++c)
+        out += "---|";
+    out.push_back('\n');
+    for (const auto &row : rows)
+        emit_row(row, out);
+    return out;
+}
+
+std::string
 TextTable::renderCsv() const
 {
     auto emit_row = [](const std::vector<std::string> &row,

@@ -32,6 +32,14 @@ class TextTable
     /** Render with padded columns, a header underline, and newlines. */
     std::string render() const;
 
+    /**
+     * Render as a GitHub-flavored Markdown table: every cell (header
+     * included) padded to its column's maximum byte width, followed by
+     * an unpadded `|---|` separator row. Deterministic — the run-report
+     * renderer relies on byte-identical output for drift checks.
+     */
+    std::string renderMarkdown() const;
+
     /** Render as comma-separated values (header + rows). */
     std::string renderCsv() const;
 

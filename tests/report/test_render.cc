@@ -1,0 +1,228 @@
+/** @file Tests for the report renderer, diff and trajectory layers. */
+
+#include <gtest/gtest.h>
+
+#include "report/render.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using report::DiffOptions;
+using report::DiffResult;
+using report::PolicySummary;
+using report::RunReport;
+
+PolicySummary
+summary(const std::string &policy, double icache, double btb,
+        double icache_vs_lru_pct, bool vs_lru_present)
+{
+    PolicySummary s;
+    s.policy = policy;
+    s.icacheMeanMpki = icache;
+    s.btbMeanMpki = btb;
+    if (vs_lru_present) {
+        s.icacheVsLru.present = true;
+        s.icacheVsLru.meanPct = icache_vs_lru_pct;
+        s.icacheVsLru.ciHalfWidthPct = 1.0;
+        s.icacheVsLru.traces = 4;
+        s.btbVsLru.present = true;
+        s.btbVsLru.meanPct = icache_vs_lru_pct / 2;
+        s.btbVsLru.ciHalfWidthPct = 1.0;
+        s.btbVsLru.traces = 4;
+    }
+    return s;
+}
+
+/** A frozen fig03-style report with fixed aggregates. */
+RunReport
+frozenHeadlineReport()
+{
+    RunReport report;
+    report.runId = "fig03_icache_scurve-1700000000-1";
+    report.experiment = "fig03_icache_scurve";
+    report.policies = {
+        summary("LRU", 4.58, 1.44, 0.0, false),
+        summary("Random", 5.29, 1.64, 15.6, true),
+        summary("SRRIP", 4.77, 1.42, 4.3, true),
+        summary("SDBP", 4.55, 1.44, -0.5, true),
+        summary("GHRP", 4.41, 1.45, -3.6, true),
+    };
+    report.sweep.wallSeconds = 10.0;
+    report.sweep.legs = 120;
+    report.sweep.legsPerSec = 12.0;
+    report.sweep.mInstrPerSec = 100.0;
+    return report;
+}
+
+/**
+ * Golden render: the exact Markdown block for a frozen report. If this
+ * test breaks, the committed EXPERIMENTS.md tables will drift too —
+ * regenerate them (ghrp-report render --splice) in the same change.
+ */
+TEST(Render, GoldenHeadlineBlock)
+{
+    const char *expected =
+        "<!-- ghrp-report:fig03_icache_scurve:begin -->\n"
+        "| policy | paper MPKI | paper vs LRU | measured MPKI | "
+        "measured vs LRU |\n"
+        "|---|---|---|---|---|\n"
+        "| LRU    | 1.05       | -            | 4.58          | "
+        "-               |\n"
+        "| Random | 1.14       | +8.6%        | 5.29          | "
+        "+15.6%          |\n"
+        "| SRRIP  | 1.02       | -2.9%        | 4.77          | "
+        "+4.3%           |\n"
+        "| SDBP   | 1.10       | +4.8%        | 4.55          | "
+        "-0.5%           |\n"
+        "| GHRP   | 0.86       | -18.1%       | 4.41          | "
+        "-3.6%           |\n"
+        "<!-- ghrp-report:fig03_icache_scurve:end -->";
+    EXPECT_EQ(report::renderBlock(frozenHeadlineReport()), expected);
+}
+
+TEST(Render, RenderIsDeterministic)
+{
+    const RunReport report = frozenHeadlineReport();
+    EXPECT_EQ(report::renderBlock(report), report::renderBlock(report));
+}
+
+TEST(Render, GenericExperimentRendersPolicyTable)
+{
+    RunReport report = frozenHeadlineReport();
+    report.experiment = "fig06_icache_perbench";
+    const std::string block = report::renderBlock(report);
+    EXPECT_NE(block.find("fig06_icache_perbench:begin"),
+              std::string::npos);
+    EXPECT_NE(block.find("I-cache MPKI"), std::string::npos);
+    EXPECT_EQ(block.find("paper MPKI"), std::string::npos);
+}
+
+TEST(Render, MetricOnlyReportRendersMetricsTable)
+{
+    RunReport report;
+    report.experiment = "tab01_storage";
+    report.metrics = {{"ghrp_total_kib", 5.8}, {"overhead_pct", 9.1}};
+    const std::string block = report::renderBlock(report);
+    EXPECT_NE(block.find("| metric"), std::string::npos);
+    EXPECT_NE(block.find("ghrp_total_kib"), std::string::npos);
+    EXPECT_NE(block.find("5.8"), std::string::npos);
+}
+
+TEST(Render, SpliceReplacesMarkedBlock)
+{
+    const RunReport report = frozenHeadlineReport();
+    std::string doc = "# Title\n\nintro text\n\n"
+                      "<!-- ghrp-report:fig03_icache_scurve:begin -->\n"
+                      "stale table\n"
+                      "<!-- ghrp-report:fig03_icache_scurve:end -->\n\n"
+                      "outro text\n";
+    ASSERT_TRUE(report::spliceBlock(doc, report));
+    EXPECT_EQ(doc.find("stale table"), std::string::npos);
+    EXPECT_NE(doc.find("| GHRP   | 0.86"), std::string::npos);
+    EXPECT_NE(doc.find("intro text"), std::string::npos);
+    EXPECT_NE(doc.find("outro text"), std::string::npos);
+
+    // Splicing the same report again is idempotent.
+    std::string again = doc;
+    ASSERT_TRUE(report::spliceBlock(again, report));
+    EXPECT_EQ(again, doc);
+
+    std::string no_markers = "# Title\nno markers here\n";
+    EXPECT_FALSE(report::spliceBlock(no_markers, report));
+    EXPECT_EQ(no_markers, "# Title\nno markers here\n");
+}
+
+TEST(Diff, IdenticalReportsPassCheck)
+{
+    const RunReport report = frozenHeadlineReport();
+    DiffOptions options;
+    options.check = true;
+    const DiffResult result = report::diffReports(report, report, options);
+    EXPECT_FALSE(result.mpkiChanged);
+    EXPECT_FALSE(result.throughputRegressed);
+    EXPECT_TRUE(result.ok());
+}
+
+TEST(Diff, KnownMpkiDeltaDetected)
+{
+    const RunReport base = frozenHeadlineReport();
+    RunReport cand = frozenHeadlineReport();
+    cand.policies[4].icacheMeanMpki += 0.07;  // GHRP drifts
+
+    DiffOptions options;
+    options.check = true;
+    const DiffResult result = report::diffReports(base, cand, options);
+    EXPECT_TRUE(result.mpkiChanged);
+    EXPECT_FALSE(result.ok());
+    EXPECT_NE(result.text.find("+0.0700"), std::string::npos);
+    EXPECT_NE(result.text.find("FAIL"), std::string::npos);
+}
+
+TEST(Diff, ThroughputGate)
+{
+    const RunReport base = frozenHeadlineReport();
+    RunReport cand = frozenHeadlineReport();
+    cand.sweep.legsPerSec = base.sweep.legsPerSec * 0.80;  // -20%
+
+    DiffOptions options;
+    options.check = true;
+    options.maxRegressPct = 5.0;
+    EXPECT_FALSE(report::diffReports(base, cand, options).ok());
+
+    options.maxRegressPct = 25.0;  // loose gate tolerates -20%
+    EXPECT_TRUE(report::diffReports(base, cand, options).ok());
+
+    // Without --check the regression is reported but not gated.
+    options.check = false;
+    options.maxRegressPct = 5.0;
+    const DiffResult ungated = report::diffReports(base, cand, options);
+    EXPECT_TRUE(ungated.throughputRegressed);
+    EXPECT_TRUE(ungated.ok());
+}
+
+TEST(Diff, AddedAndRemovedPoliciesAreChanges)
+{
+    const RunReport base = frozenHeadlineReport();
+    RunReport cand = frozenHeadlineReport();
+    cand.policies.pop_back();
+
+    DiffOptions options;
+    options.check = true;
+    const DiffResult result = report::diffReports(base, cand, options);
+    EXPECT_TRUE(result.mpkiChanged);
+    EXPECT_NE(result.text.find("removed"), std::string::npos);
+}
+
+TEST(Diff, MetricOnlyReportsCompareMetrics)
+{
+    RunReport base, cand;
+    base.experiment = cand.experiment = "tab01_storage";
+    base.metrics = {{"kib", 5.8}};
+    cand.metrics = {{"kib", 6.0}};
+
+    DiffOptions options;
+    options.check = true;
+    const DiffResult result = report::diffReports(base, cand, options);
+    EXPECT_TRUE(result.mpkiChanged);
+    EXPECT_NE(result.text.find("kib"), std::string::npos);
+}
+
+TEST(Trajectory, EmitsThroughputAndPolicyPoints)
+{
+    const auto points = report::trajectoryPoints(frozenHeadlineReport());
+    ASSERT_GE(points.size(), 2u + 2u * 5u);
+    EXPECT_EQ(points[0].first, "fig03_icache_scurve_legs_per_sec");
+    EXPECT_DOUBLE_EQ(points[0].second.at("value").asDouble(), 12.0);
+    EXPECT_EQ(points[0].second.at("unit").asString(), "legs/s");
+
+    bool found_ghrp = false;
+    for (const auto &[name, point] : points)
+        if (name == "fig03_icache_scurve_ghrp_icache_mpki") {
+            found_ghrp = true;
+            EXPECT_DOUBLE_EQ(point.at("value").asDouble(), 4.41);
+        }
+    EXPECT_TRUE(found_ghrp);
+}
+
+} // namespace

@@ -1,0 +1,241 @@
+/**
+ * @file
+ * ghrp-report: command-line consumer of ghrp-run-report JSON files.
+ *
+ *   ghrp-report render FILE...  [--splice DOC] [--check-docs DOC]
+ *       Print each report's Markdown block (markers included). With
+ *       --splice, rewrite DOC's marked blocks in place instead; with
+ *       --check-docs, byte-compare each block against DOC and fail on
+ *       drift (exit 1) — the CI guard that EXPERIMENTS.md matches the
+ *       committed seed reports.
+ *
+ *   ghrp-report diff BASELINE CANDIDATE [--check] [--max-regress PCT]
+ *       Per-policy MPKI deltas and sweep-throughput comparison. With
+ *       --check, exit 1 when any MPKI changed (simulation is
+ *       deterministic — a delta is a code change) or when legs/s
+ *       regressed by more than PCT (default 5).
+ *
+ *   ghrp-report trajectory FILE [--out-dir DIR]
+ *       Write BENCH_<name>.json trajectory points (throughput and
+ *       per-policy MPKI) for benchmark tracking.
+ *
+ * Exit codes: 0 success, 1 gate/drift failure, 2 usage or load error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report/render.hh"
+#include "report/report.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ghrp-report render FILE... [--splice DOC] "
+        "[--check-docs DOC]\n"
+        "       ghrp-report diff BASELINE CANDIDATE [--check] "
+        "[--max-regress PCT]\n"
+        "       ghrp-report trajectory FILE [--out-dir DIR]\n");
+    return 2;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream file(path);
+    if (!file)
+        throw report::ReportError("cannot open '" + path + "'");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream file(path);
+    if (!file)
+        throw report::ReportError("cannot open '" + path +
+                                  "' for writing");
+    file << text;
+    if (!file)
+        throw report::ReportError("write to '" + path + "' failed");
+}
+
+/** The marked block of @p experiment inside @p document, markers
+ *  included; empty when either marker is missing. */
+std::string
+extractBlock(const std::string &document, const std::string &experiment)
+{
+    const std::string begin = report::beginMarker(experiment);
+    const std::string end = report::endMarker(experiment);
+    const std::size_t begin_pos = document.find(begin);
+    if (begin_pos == std::string::npos)
+        return "";
+    const std::size_t end_pos = document.find(end, begin_pos);
+    if (end_pos == std::string::npos)
+        return "";
+    return document.substr(begin_pos, end_pos + end.size() - begin_pos);
+}
+
+int
+cmdRender(const std::vector<std::string> &args)
+{
+    std::vector<std::string> files;
+    std::string splice_doc, check_doc;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--splice" && i + 1 < args.size())
+            splice_doc = args[++i];
+        else if (args[i] == "--check-docs" && i + 1 < args.size())
+            check_doc = args[++i];
+        else if (args[i].rfind("--", 0) == 0)
+            return usage();
+        else
+            files.push_back(args[i]);
+    }
+    if (files.empty() || (!splice_doc.empty() && !check_doc.empty()))
+        return usage();
+
+    if (!splice_doc.empty()) {
+        std::string document = readFile(splice_doc);
+        for (const std::string &file : files) {
+            const report::RunReport run = report::RunReport::load(file);
+            if (!report::spliceBlock(document, run)) {
+                std::fprintf(stderr,
+                             "ghrp-report: no markers for '%s' in %s\n",
+                             run.experiment.c_str(), splice_doc.c_str());
+                return 1;
+            }
+            std::fprintf(stderr, "spliced %s into %s\n",
+                         run.experiment.c_str(), splice_doc.c_str());
+        }
+        writeFile(splice_doc, document);
+        return 0;
+    }
+
+    if (!check_doc.empty()) {
+        const std::string document = readFile(check_doc);
+        bool drift = false;
+        for (const std::string &file : files) {
+            const report::RunReport run = report::RunReport::load(file);
+            const std::string expected = report::renderBlock(run);
+            const std::string actual =
+                extractBlock(document, run.experiment);
+            if (actual.empty()) {
+                std::fprintf(stderr,
+                             "ghrp-report: no markers for '%s' in %s\n",
+                             run.experiment.c_str(), check_doc.c_str());
+                drift = true;
+            } else if (actual != expected) {
+                std::fprintf(stderr,
+                             "ghrp-report: %s drifted from %s\n"
+                             "--- expected (from report) ---\n%s\n"
+                             "--- found (in doc) ---\n%s\n",
+                             run.experiment.c_str(), check_doc.c_str(),
+                             expected.c_str(), actual.c_str());
+                drift = true;
+            } else {
+                std::fprintf(stderr, "%s: in sync\n",
+                             run.experiment.c_str());
+            }
+        }
+        return drift ? 1 : 0;
+    }
+
+    for (const std::string &file : files) {
+        const report::RunReport run = report::RunReport::load(file);
+        std::printf("%s\n", report::renderBlock(run).c_str());
+    }
+    return 0;
+}
+
+int
+cmdDiff(const std::vector<std::string> &args)
+{
+    std::vector<std::string> files;
+    report::DiffOptions options;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--check")
+            options.check = true;
+        else if (args[i] == "--max-regress" && i + 1 < args.size())
+            options.maxRegressPct = std::strtod(args[++i].c_str(), nullptr);
+        else if (args[i].rfind("--", 0) == 0)
+            return usage();
+        else
+            files.push_back(args[i]);
+    }
+    if (files.size() != 2)
+        return usage();
+
+    const report::RunReport baseline = report::RunReport::load(files[0]);
+    const report::RunReport candidate = report::RunReport::load(files[1]);
+    const report::DiffResult result =
+        report::diffReports(baseline, candidate, options);
+    std::printf("%s", result.text.c_str());
+    return result.ok() ? 0 : 1;
+}
+
+int
+cmdTrajectory(const std::vector<std::string> &args)
+{
+    std::vector<std::string> files;
+    std::string out_dir = ".";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out-dir" && i + 1 < args.size())
+            out_dir = args[++i];
+        else if (args[i].rfind("--", 0) == 0)
+            return usage();
+        else
+            files.push_back(args[i]);
+    }
+    if (files.empty())
+        return usage();
+    std::filesystem::create_directories(out_dir);
+
+    for (const std::string &file : files) {
+        const report::RunReport run = report::RunReport::load(file);
+        for (const auto &[name, point] : report::trajectoryPoints(run)) {
+            const std::string path =
+                out_dir + "/BENCH_" + name + ".json";
+            writeFile(path, point.dump(2) + "\n");
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+
+    try {
+        if (command == "render")
+            return cmdRender(args);
+        if (command == "diff")
+            return cmdDiff(args);
+        if (command == "trajectory")
+            return cmdTrajectory(args);
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ghrp-report: %s\n", e.what());
+        return 2;
+    }
+}
