@@ -44,6 +44,7 @@ main(int argc, char **argv)
         std::string pgmPath;
         frontend::FrontendResult result;
         double meanEfficiency = 0.0;
+        report::Json matrix = report::Json::object();
     };
     const std::size_t num_policies = std::size(frontend::paperPolicies);
     std::vector<PolicyOutput> outputs(num_policies);
@@ -74,6 +75,7 @@ main(int argc, char **argv)
                     std::string(head) + eff.renderAscii(16) + "\n";
                 outputs[p].result = r;
                 outputs[p].meanEfficiency = eff.meanEfficiency();
+                outputs[p].matrix = report::efficiencyMatrixJson(eff);
                 if (!pgm_prefix.empty()) {
                     outputs[p].pgmPath =
                         pgm_prefix + "_" +
@@ -97,13 +99,16 @@ main(int argc, char **argv)
                 "the darkest.\n");
 
     report::ReportBuilder builder("fig01_icache_heatmap");
+    report::Json efficiency = report::Json::object();
     for (std::size_t p = 0; p < num_policies; ++p) {
         const char *policy =
             frontend::policyName(frontend::paperPolicies[p]);
         builder.addLeg(spec.name, policy, outputs[p].result);
         builder.addMetric(std::string(policy) + "_mean_efficiency",
                           outputs[p].meanEfficiency);
+        efficiency.set(policy, std::move(outputs[p].matrix));
     }
+    builder.addExtra("efficiency", std::move(efficiency));
     builder.setSweep(sweep_wall,
                      static_cast<unsigned>(cli.getUint("jobs", 0)));
     bench::maybeWriteReport(cli, builder.finish());

@@ -93,6 +93,20 @@ knownCliFlags()
         {"replay", "trace-tool mode: replay a trace file"},
         {"info", "trace-tool mode: print trace metadata"},
         {"pgm", "heat-map tools: write PGM images"},
+        {"socket", "service tools: unix-domain socket path"},
+        {"journal-dir",
+         "ghrp-served: directory for job journals and reports"},
+        {"max-queue",
+         "ghrp-served: queued-job bound before submits are rejected"},
+        {"fsync",
+         "ghrp-served: journal durability (every|close|off)"},
+        {"experiment", "ghrp-client submit: experiment name"},
+        {"priority", "ghrp-client submit: queue priority"},
+        {"timeout",
+         "ghrp-client: job wall-clock limit / connect timeout seconds"},
+        {"wait", "ghrp-client submit: follow the job and fetch its report"},
+        {"job", "ghrp-client: job id for status/watch/result/cancel"},
+        {"out", "ghrp-client/ghrp-report: output file or directory"},
     };
     return flags;
 }

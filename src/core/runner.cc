@@ -118,20 +118,52 @@ SuiteResults::simulatedInstructions() const
 namespace
 {
 
+using DecodedPtr = std::shared_ptr<const trace::DecodedTrace>;
+
 /** Shared bookkeeping for one sweep: pre-sized result slots plus a
- *  serialised progress tick. */
+ *  serialised progress tick, with the optional RunHooks control
+ *  points (skip / cancel / leg-done journaling) applied per leg. */
 class SweepSink
 {
   public:
     SweepSink(SuiteResults &out, const SuiteOptions &options,
-              const ProgressFn &progress)
-        : out(out), options(options), progress(progress),
+              const ProgressFn &progress, const RunHooks &hooks)
+        : out(out), options(options), progress(progress), hooks(hooks),
           totalUnits(out.specs.size() * options.policies.size())
     {
         for (frontend::PolicyKind policy : options.policies) {
             out.results[policy].resize(out.specs.size());
             out.legSeconds[policy].resize(out.specs.size(), 0.0);
         }
+    }
+
+    /**
+     * Consume one leg without simulating it when the hooks say so.
+     * Returns true when the leg was handled here: skipped legs tick
+     * progress (their result comes from the caller's journal),
+     * cancelled legs are silently left for a future resume.
+     */
+    bool
+    preempted(std::size_t trace_index, frontend::PolicyKind policy)
+    {
+        if (hooks.skipLeg && hooks.skipLeg(trace_index, policy)) {
+            tick(trace_index, policy, nullptr, 0.0);
+            return true;
+        }
+        return hooks.cancelled && hooks.cancelled();
+    }
+
+    /** True when every policy leg of @p trace_index is skipped — the
+     *  trace build itself can then be elided on resume. */
+    bool
+    allSkipped(std::size_t trace_index) const
+    {
+        if (!hooks.skipLeg || options.policies.empty())
+            return false;
+        for (frontend::PolicyKind policy : options.policies)
+            if (!hooks.skipLeg(trace_index, policy))
+                return false;
+        return true;
     }
 
     /** Simulate one (trace, policy) leg and store it in its slot. The
@@ -141,6 +173,9 @@ class SweepSink
     runLeg(std::size_t trace_index, frontend::PolicyKind policy,
            const trace::DecodedTrace &dec)
     {
+        if (preempted(trace_index, policy))
+            return;
+
         frontend::FrontendConfig config = options.base;
         config.policy = policy;
 
@@ -156,14 +191,20 @@ class SweepSink
         // legs need no lock here.
         out.results[policy][trace_index] = std::move(result);
         out.legSeconds[policy][trace_index] = elapsed.count();
-        tick(trace_index, policy);
+        tick(trace_index, policy, &out.results[policy][trace_index],
+             elapsed.count());
     }
 
   private:
     void
-    tick(std::size_t trace_index, frontend::PolicyKind policy)
+    tick(std::size_t trace_index, frontend::PolicyKind policy,
+         const frontend::FrontendResult *result, double seconds)
     {
         std::lock_guard<std::mutex> lock(progressMutex);
+        // Journal before progress: a watcher that reacts to the
+        // progress tick may already rely on the leg being durable.
+        if (result && hooks.onLegDone)
+            hooks.onLegDone(trace_index, policy, *result, seconds);
         ++done;
         if (progress)
             progress(done, totalUnits,
@@ -178,28 +219,52 @@ class SweepSink
     SuiteResults &out;
     const SuiteOptions &options;
     const ProgressFn &progress;
+    const RunHooks &hooks;
     const std::size_t totalUnits;
     std::mutex progressMutex;
     std::size_t done = 0;
 };
 
+/** Acquire + decode + direction-resolve one trace, honouring the
+ *  hooks' decoded-trace provider when present. */
+DecodedPtr
+buildDecoded(const workload::TraceSpec &spec, const SuiteOptions &options,
+             workload::TraceStore &store, const RunHooks &hooks)
+{
+    if (hooks.acquireDecoded)
+        return hooks.acquireDecoded(spec, options);
+    auto dec = std::make_shared<trace::DecodedTrace>(store.acquireDecoded(
+        spec, options.instructionOverride, options.base.icache.blockBytes,
+        options.base.instBytes));
+    frontend::resolveDirectionStream(*dec, options.base.direction);
+    return DecodedPtr(std::move(dec));
+}
+
 /** Serial reference path: same slot discipline, no threads. */
 void
 runSerial(SweepSink &sink, const SuiteResults &out,
-          const SuiteOptions &options, workload::TraceStore &store)
+          const SuiteOptions &options, workload::TraceStore &store,
+          const RunHooks &hooks)
 {
     for (std::size_t i = 0; i < out.specs.size(); ++i) {
+        if (hooks.cancelled && hooks.cancelled())
+            return;
+        // A fully-journaled trace never needs acquiring or decoding on
+        // resume — tick its legs and move on.
+        if (sink.allSkipped(i)) {
+            for (frontend::PolicyKind policy : options.policies)
+                sink.preempted(i, policy);
+            continue;
+        }
         // Acquire and decode the trace once and reuse the stream for
         // every policy so the comparison is paired (identical access
         // streams) and the decode cost is paid once, not per leg. The
         // direction predictor is policy-independent, so its stream is
         // resolved here too instead of once per leg.
-        trace::DecodedTrace dec = store.acquireDecoded(
-            out.specs[i], options.instructionOverride,
-            options.base.icache.blockBytes, options.base.instBytes);
-        frontend::resolveDirectionStream(dec, options.base.direction);
+        const DecodedPtr dec = buildDecoded(out.specs[i], options, store,
+                                            hooks);
         for (frontend::PolicyKind policy : options.policies)
-            sink.runLeg(i, policy, dec);
+            sink.runLeg(i, policy, *dec);
     }
 }
 
@@ -214,35 +279,46 @@ runSerial(SweepSink &sink, const SuiteResults &out,
 void
 runParallel(SweepSink &sink, const SuiteResults &out,
             const SuiteOptions &options, workload::TraceStore &store,
-            util::ThreadPool &pool)
+            util::ThreadPool &pool, const RunHooks &hooks)
 {
-    using DecodedPtr = std::shared_ptr<const trace::DecodedTrace>;
-
     const std::size_t num_traces = out.specs.size();
     const std::size_t window =
         std::max<std::size_t>(2 * static_cast<std::size_t>(pool.size()), 4);
 
     std::vector<std::future<DecodedPtr>> builds(num_traces);
+    std::vector<char> elided(num_traces, 0);
     std::vector<std::vector<std::future<void>>> legs(num_traces);
 
     std::size_t next_build = 0;
     const auto pump = [&](std::size_t upto) {
         for (; next_build < std::min(upto, num_traces); ++next_build) {
+            // Stop opening new builds once cancelled: queued leg jobs
+            // drain as no-ops and the harvest loop below ends at the
+            // first unscheduled build.
+            if (hooks.cancelled && hooks.cancelled())
+                return;
+            if (sink.allSkipped(next_build)) {
+                elided[next_build] = 1;
+                continue;
+            }
             const workload::TraceSpec &spec = out.specs[next_build];
-            builds[next_build] = pool.submit([&spec, &options, &store]() {
-                auto dec = std::make_shared<trace::DecodedTrace>(
-                    store.acquireDecoded(spec, options.instructionOverride,
-                                         options.base.icache.blockBytes,
-                                         options.base.instBytes));
-                frontend::resolveDirectionStream(*dec,
-                                                 options.base.direction);
-                return DecodedPtr(std::move(dec));
-            });
+            builds[next_build] =
+                pool.submit([&spec, &options, &store, &hooks]() {
+                    return buildDecoded(spec, options, store, hooks);
+                });
         }
     };
 
     pump(window);
     for (std::size_t i = 0; i < num_traces; ++i) {
+        if (elided[i]) {
+            for (frontend::PolicyKind policy : options.policies)
+                sink.preempted(i, policy);
+            pump(i + 1 + window);
+            continue;
+        }
+        if (!builds[i].valid())
+            break;  // cancelled before this trace's build was scheduled
         const DecodedPtr dec = builds[i].get();  // rethrows build errors
         builds[i] = {};
         legs[i].reserve(options.policies.size());
@@ -256,35 +332,39 @@ runParallel(SweepSink &sink, const SuiteResults &out,
         pump(i + 1 + window);
         if (i + 1 >= window)
             for (std::future<void> &f : legs[i + 1 - window])
-                f.get();
+                if (f.valid())
+                    f.get();
     }
-    for (std::size_t i = num_traces >= window ? num_traces - window + 1 : 0;
-         i < num_traces; ++i)
-        for (std::future<void> &f : legs[i])
-            f.get();
+    // Harvest (and rethrow from) every leg not already collected; legs
+    // of elided or unscheduled traces are simply absent.
+    for (std::vector<std::future<void>> &trace_legs : legs)
+        for (std::future<void> &f : trace_legs)
+            if (f.valid())
+                f.get();
 }
 
 } // anonymous namespace
 
 SuiteResults
-runSuite(const SuiteOptions &options, const ProgressFn &progress)
+runSuite(const SuiteOptions &options, const ProgressFn &progress,
+         const RunHooks &hooks)
 {
     SuiteResults out;
     out.specs = workload::makeSuite(options.numTraces, options.baseSeed);
 
-    SweepSink sink(out, options, progress);
+    SweepSink sink(out, options, progress, hooks);
     workload::TraceStore store(options.traceCacheDir);
     const unsigned jobs =
         options.jobs ? options.jobs : util::ThreadPool::hardwareJobs();
 
     const auto start = std::chrono::steady_clock::now();
     if (jobs <= 1 || out.specs.size() * options.policies.size() <= 1) {
-        runSerial(sink, out, options, store);
+        runSerial(sink, out, options, store, hooks);
     } else {
         // Destroyed before `out` and `sink`, so no job outlives the
         // state it references even on exception unwind.
         util::ThreadPool pool(jobs);
-        runParallel(sink, out, options, store, pool);
+        runParallel(sink, out, options, store, pool, hooks);
     }
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

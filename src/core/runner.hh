@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -130,6 +131,61 @@ using ProgressFn =
     std::function<void(std::size_t, std::size_t, const std::string &)>;
 
 /**
+ * Optional control hooks for a suite run, used by long-lived callers
+ * (the sweep-serving daemon) that need journaling, crash resume,
+ * cooperative cancellation, or a shared decoded-trace cache. All
+ * members are optional; a default-constructed RunHooks reproduces
+ * plain runSuite behaviour exactly.
+ */
+struct RunHooks
+{
+    /**
+     * Return true to skip simulating one (trace, policy) leg — e.g. a
+     * leg already journaled by an interrupted run. Skipped legs still
+     * tick the progress callback but leave their result slot
+     * default-initialized; the caller is responsible for filling the
+     * slot (from its journal) before aggregating. Must be pure per
+     * (trace index, policy): it is consulted from worker threads and
+     * may be called more than once per leg.
+     */
+    std::function<bool(std::size_t, frontend::PolicyKind)> skipLeg;
+
+    /**
+     * Invoked after every simulated (not skipped) leg with its results
+     * and wall seconds. Invocations are serialised under the same lock
+     * as the progress callback, so the callee may append to a journal
+     * without further locking. Completion order is scheduling-
+     * dependent.
+     */
+    std::function<void(std::size_t, frontend::PolicyKind,
+                       const frontend::FrontendResult &, double)>
+        onLegDone;
+
+    /**
+     * Polled before each leg starts (and before each trace build is
+     * scheduled): returning true prevents new legs from starting while
+     * in-flight legs complete normally, so runSuite drains quickly and
+     * returns with the unstarted slots default-initialized. Unstarted
+     * legs are NOT reported through onLegDone — a journaling caller
+     * can therefore resume exactly the missing legs later.
+     */
+    std::function<bool()> cancelled;
+
+    /**
+     * Override trace acquisition + decoding, e.g. with a cross-run
+     * decoded-trace cache. The returned stream must be decoded at
+     * (options.base.icache.blockBytes, options.base.instBytes)
+     * granularity and have its direction stream resolved for
+     * options.base.direction; runSuite shares it read-only across the
+     * trace's legs. When unset, runSuite acquires from its own
+     * TraceStore and decodes per sweep.
+     */
+    std::function<std::shared_ptr<const trace::DecodedTrace>(
+        const workload::TraceSpec &, const SuiteOptions &)>
+        acquireDecoded;
+};
+
+/**
  * Run the full suite: for each trace spec, acquire the trace (from the
  * content-addressed store when enabled, generating otherwise), decode
  * it once into the compact fetch-op stream, and simulate that shared
@@ -143,9 +199,12 @@ using ProgressFn =
  * The progress callback is serialised (never invoked concurrently),
  * but completion order is scheduling-dependent; only the *results* are
  * deterministic. Exceptions thrown by a leg are rethrown here.
+ *
+ * @p hooks adds journaling/resume/cancellation control; see RunHooks.
  */
 SuiteResults runSuite(const SuiteOptions &options,
-                      const ProgressFn &progress = nullptr);
+                      const ProgressFn &progress = nullptr,
+                      const RunHooks &hooks = {});
 
 } // namespace ghrp::core
 

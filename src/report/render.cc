@@ -1,5 +1,6 @@
 #include "report/render.hh"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -296,6 +297,83 @@ trajectoryPoints(const RunReport &report)
     for (const auto &[name, value] : report.metrics)
         add(report.experiment + "_" + name, "", value);
     return points;
+}
+
+std::vector<std::pair<std::string, std::string>>
+plotFiles(const RunReport &report)
+{
+    std::vector<std::pair<std::string, std::string>> files;
+
+    struct Structure
+    {
+        const char *name;
+        const CounterSet Leg::*counters;
+    };
+    static constexpr Structure structures[] = {
+        {"icache", &Leg::icache},
+        {"btb", &Leg::btb},
+    };
+
+    for (const Structure &st : structures) {
+        // Per-policy MPKI columns in first-appearance order, each
+        // sorted ascending: rank r holds each policy's r-th best
+        // trace, the S-curve presentation of figures 3 and 11.
+        std::vector<std::string> order;
+        std::map<std::string, std::vector<double>> columns;
+        bool any_accesses = false;
+        for (const Leg &leg : report.legs) {
+            const CounterSet &c = leg.*(st.counters);
+            if (c.accesses > 0)
+                any_accesses = true;
+            if (columns.find(leg.policy) == columns.end())
+                order.push_back(leg.policy);
+            columns[leg.policy].push_back(c.mpki);
+        }
+        if (!any_accesses || order.empty())
+            continue;
+        std::size_t ranks = 0;
+        for (auto &[policy, mpki] : columns) {
+            std::sort(mpki.begin(), mpki.end());
+            ranks = std::max(ranks, mpki.size());
+        }
+
+        const std::string stem = report.experiment + "_" + st.name;
+        std::string dat = "# " + report.experiment + ": per-trace " +
+                          st.name + " MPKI, each column sorted "
+                          "ascending (S-curve)\n# rank";
+        for (const std::string &policy : order)
+            dat += " " + policy;
+        dat += "\n";
+        for (std::size_t r = 0; r < ranks; ++r) {
+            dat += std::to_string(r + 1);
+            for (const std::string &policy : order) {
+                const std::vector<double> &mpki = columns[policy];
+                dat += r < mpki.size() ? " " + fmt("%.6f", mpki[r])
+                                       : " nan";
+            }
+            dat += "\n";
+        }
+        files.emplace_back(stem + ".dat", std::move(dat));
+
+        std::string gp = "# gnuplot script for " + stem + ".dat\n"
+                         "set terminal pngcairo size 960,640\n"
+                         "set output '" + stem + ".png'\n"
+                         "set title '" + report.experiment + ": " +
+                         st.name + " MPKI S-curve'\n"
+                         "set xlabel 'trace rank (sorted per policy)'\n"
+                         "set ylabel 'MPKI'\n"
+                         "set key left top\n"
+                         "set grid\n"
+                         "plot \\\n";
+        for (std::size_t p = 0; p < order.size(); ++p) {
+            gp += "    '" + stem + ".dat' using 1:" +
+                  std::to_string(p + 2) + " with linespoints title '" +
+                  order[p] + "'";
+            gp += p + 1 < order.size() ? ", \\\n" : "\n";
+        }
+        files.emplace_back(stem + ".gp", std::move(gp));
+    }
+    return files;
 }
 
 } // namespace ghrp::report

@@ -90,6 +90,18 @@ DiffResult diffReports(const RunReport &baseline, const RunReport &candidate,
 std::vector<std::pair<std::string, Json>>
 trajectoryPoints(const RunReport &report);
 
+/**
+ * Gnuplot S-curve sources regenerated from a report's legs, as
+ * (filename, content) pairs: for each structure (icache, btb) that saw
+ * accesses, an `<experiment>_<structure>.dat` table — one row per
+ * per-trace MPKI rank (each policy's column sorted ascending, the
+ * paper's S-curve presentation) — and a matching `.gp` script that
+ * renders it to PNG. Reports without suite legs yield no files.
+ * Deterministic: identical reports produce identical bytes.
+ */
+std::vector<std::pair<std::string, std::string>>
+plotFiles(const RunReport &report);
+
 } // namespace ghrp::report
 
 #endif // GHRP_REPORT_RENDER_HH

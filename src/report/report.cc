@@ -140,6 +140,8 @@ counterSetFromJson(const Json &j)
     return c;
 }
 
+} // anonymous namespace
+
 Json
 legToJson(const Leg &leg)
 {
@@ -172,26 +174,35 @@ legToJson(const Leg &leg)
 Leg
 legFromJson(const Json &j)
 {
-    Leg leg;
-    leg.trace = j.at("trace").asString();
-    leg.policy = j.at("policy").asString();
-    leg.seconds = j.at("seconds").asDouble();
-    const Json &instr = j.at("instructions");
-    leg.totalInstructions = instr.at("total").asUint();
-    leg.warmupInstructions = instr.at("warmup").asUint();
-    leg.measuredInstructions = instr.at("measured").asUint();
-    leg.icache = counterSetFromJson(j.at("icache"));
-    leg.btb = counterSetFromJson(j.at("btb"));
-    const Json &branch = j.at("branch");
-    leg.condBranches = branch.at("condBranches").asUint();
-    leg.condMispredicts = branch.at("condMispredicts").asUint();
-    leg.btbTargetMismatches = branch.at("btbTargetMismatches").asUint();
-    leg.rasReturns = branch.at("rasReturns").asUint();
-    leg.rasMispredicts = branch.at("rasMispredicts").asUint();
-    leg.indirectBranches = branch.at("indirectBranches").asUint();
-    leg.indirectMispredicts = branch.at("indirectMispredicts").asUint();
-    return leg;
+    try {
+        Leg leg;
+        leg.trace = j.at("trace").asString();
+        leg.policy = j.at("policy").asString();
+        leg.seconds = j.at("seconds").asDouble();
+        const Json &instr = j.at("instructions");
+        leg.totalInstructions = instr.at("total").asUint();
+        leg.warmupInstructions = instr.at("warmup").asUint();
+        leg.measuredInstructions = instr.at("measured").asUint();
+        leg.icache = counterSetFromJson(j.at("icache"));
+        leg.btb = counterSetFromJson(j.at("btb"));
+        const Json &branch = j.at("branch");
+        leg.condBranches = branch.at("condBranches").asUint();
+        leg.condMispredicts = branch.at("condMispredicts").asUint();
+        leg.btbTargetMismatches =
+            branch.at("btbTargetMismatches").asUint();
+        leg.rasReturns = branch.at("rasReturns").asUint();
+        leg.rasMispredicts = branch.at("rasMispredicts").asUint();
+        leg.indirectBranches = branch.at("indirectBranches").asUint();
+        leg.indirectMispredicts =
+            branch.at("indirectMispredicts").asUint();
+        return leg;
+    } catch (const JsonError &e) {
+        throw ReportError(std::string("malformed leg: ") + e.what());
+    }
 }
+
+namespace
+{
 
 Json
 relToJson(const RelToLru &rel)
@@ -341,6 +352,8 @@ RunReport::toJson() const
     for (const auto &[name, value] : metrics)
         metric_obj.set(name, value);
     j.set("metrics", std::move(metric_obj));
+    if (extras.size() > 0)
+        j.set("extras", extras);
     return j;
 }
 
@@ -383,6 +396,8 @@ RunReport::fromJson(const Json &json)
         if (const Json *v = json.find("metrics"))
             for (const auto &[name, value] : v->asObject())
                 report.metrics.emplace_back(name, value.asDouble());
+        if (const Json *v = json.find("extras"))
+            report.extras = *v;
         return report;
     } catch (const JsonError &e) {
         throw ReportError(std::string("malformed report: ") + e.what());
@@ -434,6 +449,12 @@ void
 ReportBuilder::addMetric(std::string name, double value)
 {
     report.metrics.emplace_back(std::move(name), value);
+}
+
+void
+ReportBuilder::addExtra(const std::string &name, Json value)
+{
+    report.extras.set(name, std::move(value));
 }
 
 void
@@ -500,6 +521,41 @@ makeLeg(const std::string &trace, const std::string &label,
     return leg;
 }
 
+frontend::FrontendResult
+toFrontendResult(const Leg &leg)
+{
+    frontend::FrontendResult result;
+    result.traceName = leg.trace;
+    result.policy = leg.policy;
+    result.totalInstructions = leg.totalInstructions;
+    result.warmupInstructions = leg.warmupInstructions;
+    result.measuredInstructions = leg.measuredInstructions;
+
+    const auto access = [](const CounterSet &c) {
+        stats::AccessStats s;
+        s.accesses = c.accesses;
+        s.hits = c.hits;
+        s.misses = c.misses;
+        s.bypasses = c.bypasses;
+        s.evictions = c.evictions;
+        s.deadEvictions = c.deadEvictions;
+        return s;
+    };
+    result.icache = access(leg.icache);
+    result.btb = access(leg.btb);
+    result.icacheMpki = leg.icache.mpki;
+    result.btbMpki = leg.btb.mpki;
+
+    result.condBranches = leg.condBranches;
+    result.condMispredicts = leg.condMispredicts;
+    result.btbTargetMismatches = leg.btbTargetMismatches;
+    result.rasReturns = leg.rasReturns;
+    result.rasMispredicts = leg.rasMispredicts;
+    result.indirectBranches = leg.indirectBranches;
+    result.indirectMispredicts = leg.indirectMispredicts;
+    return result;
+}
+
 namespace
 {
 
@@ -513,6 +569,50 @@ cacheConfigToJson(const cache::CacheConfig &config)
     j.set("describe", config.describe());
     return j;
 }
+
+cache::CacheConfig
+cacheConfigFromJson(const Json &j)
+{
+    cache::CacheConfig config;
+    config.sizeBytes = static_cast<std::uint32_t>(
+        j.at("sizeBytes").asUint());
+    config.blockBytes = static_cast<std::uint32_t>(
+        j.at("blockBytes").asUint());
+    config.assoc = static_cast<std::uint32_t>(j.at("assoc").asUint());
+    return config;
+}
+
+/** Reverse of frontend::policyName that throws instead of fatal()ing,
+ *  so a serving daemon can reject a malformed job and keep running. */
+frontend::PolicyKind
+policyFromName(const std::string &name)
+{
+    static constexpr frontend::PolicyKind kAll[] = {
+        frontend::PolicyKind::Lru,   frontend::PolicyKind::Random,
+        frontend::PolicyKind::Fifo,  frontend::PolicyKind::Srrip,
+        frontend::PolicyKind::Brrip, frontend::PolicyKind::Drrip,
+        frontend::PolicyKind::Sdbp,  frontend::PolicyKind::Ship,
+        frontend::PolicyKind::Ghrp};
+    for (frontend::PolicyKind kind : kAll)
+        if (name == frontend::policyName(kind))
+            return kind;
+    throw ReportError("unknown policy '" + name + "'");
+}
+
+frontend::DirectionKind
+directionFromName(const std::string &name)
+{
+    static constexpr frontend::DirectionKind kAll[] = {
+        frontend::DirectionKind::HashedPerceptron,
+        frontend::DirectionKind::Gshare,
+        frontend::DirectionKind::Bimodal};
+    for (frontend::DirectionKind kind : kAll)
+        if (name == directionName(kind))
+            return kind;
+    throw ReportError("unknown direction predictor '" + name + "'");
+}
+
+} // anonymous namespace
 
 Json
 suiteOptionsToJson(const core::SuiteOptions &options)
@@ -541,6 +641,69 @@ suiteOptionsToJson(const core::SuiteOptions &options)
     j.set("instBytes", options.base.instBytes);
     return j;
 }
+
+core::SuiteOptions
+suiteOptionsFromJson(const Json &json)
+{
+    try {
+        core::SuiteOptions options;
+        options.numTraces = static_cast<std::uint32_t>(
+            json.at("numTraces").asUint());
+        options.baseSeed = json.at("baseSeed").asUint();
+        options.instructionOverride =
+            json.at("instructionOverride").asUint();
+        options.jobs = static_cast<unsigned>(json.at("jobs").asUint());
+        options.traceCacheDir = json.at("traceCacheDir").asString();
+        options.policies.clear();
+        for (const Json &name : json.at("policies").asArray())
+            options.policies.push_back(policyFromName(name.asString()));
+        options.base.icache = cacheConfigFromJson(json.at("icache"));
+        options.base.btb = cacheConfigFromJson(json.at("btb"));
+        options.base.direction =
+            directionFromName(json.at("direction").asString());
+        options.base.warmupFraction = json.at("warmupFraction").asDouble();
+        options.base.warmupCapInstructions =
+            json.at("warmupCapInstructions").asUint();
+        options.base.useRas = json.at("useRas").asBool();
+        options.base.useIndirectPredictor =
+            json.at("useIndirectPredictor").asBool();
+        options.base.nextLinePrefetch = static_cast<std::uint32_t>(
+            json.at("nextLinePrefetch").asUint());
+        options.base.ghrpDedicatedBtb =
+            json.at("ghrpDedicatedBtb").asBool();
+        options.base.recoverGhrpHistory =
+            json.at("recoverGhrpHistory").asBool();
+        options.base.wrongPathNoise = static_cast<std::uint32_t>(
+            json.at("wrongPathNoise").asUint());
+        options.base.instBytes = static_cast<std::uint32_t>(
+            json.at("instBytes").asUint());
+        return options;
+    } catch (const JsonError &e) {
+        throw ReportError(std::string("malformed suite options: ") +
+                          e.what());
+    }
+}
+
+Json
+efficiencyMatrixJson(const stats::EfficiencyTracker &tracker)
+{
+    Json j = Json::object();
+    j.set("numSets", tracker.numSets());
+    j.set("numWays", tracker.numWays());
+    j.set("meanEfficiency", tracker.meanEfficiency());
+    Json rows = Json::array();
+    for (std::uint32_t set = 0; set < tracker.numSets(); ++set) {
+        Json row = Json::array();
+        for (std::uint32_t way = 0; way < tracker.numWays(); ++way)
+            row.push(tracker.efficiency(set, way));
+        rows.push(std::move(row));
+    }
+    j.set("efficiency", std::move(rows));
+    return j;
+}
+
+namespace
+{
 
 RelToLru
 relStats(const std::vector<double> &series, const std::vector<double> &lru)

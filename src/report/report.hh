@@ -26,6 +26,7 @@
 #include "core/runner.hh"
 #include "frontend/frontend.hh"
 #include "report/json.hh"
+#include "stats/efficiency.hh"
 
 namespace ghrp::report
 {
@@ -38,10 +39,12 @@ struct ReportError : std::runtime_error
     {}
 };
 
-/** Schema identity; bump major only on incompatible layout changes. */
+/** Schema identity; bump major only on incompatible layout changes.
+ *  Minor 1 added the optional "extras" subtree (free-form named JSON
+ *  blobs, e.g. per-frame efficiency matrices). */
 inline constexpr char kSchemaName[] = "ghrp-run-report";
 inline constexpr int kSchemaMajor = 1;
-inline constexpr int kSchemaMinor = 0;
+inline constexpr int kSchemaMinor = 1;
 
 /** Counters of one cache-like structure in one leg. */
 struct CounterSet
@@ -134,6 +137,10 @@ struct RunReport
     std::vector<Leg> legs;
     /** Free-form named numbers for experiments without suite legs. */
     std::vector<std::pair<std::string, double>> metrics;
+    /** Free-form named JSON blobs (schema minor 1), e.g. the per-frame
+     *  efficiency matrices of the heat-map figures. Serialized only
+     *  when non-empty so minor-0 documents render byte-identically. */
+    Json extras = Json::object();
 
     Json toJson() const;
 
@@ -172,6 +179,9 @@ class ReportBuilder
     /** Append one free-form metric. */
     void addMetric(std::string name, double value);
 
+    /** Attach one free-form extra blob under report.extras[name]. */
+    void addExtra(const std::string &name, Json value);
+
     /** Record sweep timing; legs/instruction totals come from the legs
      *  added so far, so call this after the last addLeg(). Metric-only
      *  reports (no addLeg) pass their simulation count via
@@ -189,6 +199,39 @@ class ReportBuilder
 /** Convert one FrontendResult into a leg record. */
 Leg makeLeg(const std::string &trace, const std::string &label,
             const frontend::FrontendResult &result, double seconds = 0.0);
+
+/** Serialize one leg as its report-schema JSON object. */
+Json legToJson(const Leg &leg);
+
+/** Parse one leg object; throws ReportError on missing members. */
+Leg legFromJson(const Json &json);
+
+/**
+ * Reconstruct the FrontendResult a leg was built from (the exact
+ * inverse of makeLeg). Used by the service journal to refill skipped
+ * runner slots on crash resume so the rebuilt report is bit-identical
+ * to an uninterrupted run.
+ */
+frontend::FrontendResult toFrontendResult(const Leg &leg);
+
+/** Serialize suite options as the report's "options" subtree. */
+Json suiteOptionsToJson(const core::SuiteOptions &options);
+
+/**
+ * Parse an "options" subtree produced by suiteOptionsToJson back into
+ * SuiteOptions. Unlike the CLI parsers this never fatal()s: unknown
+ * policy or direction names and missing members throw ReportError, so
+ * a daemon can reject a bad job without dying.
+ */
+core::SuiteOptions suiteOptionsFromJson(const Json &json);
+
+/**
+ * Per-frame efficiency matrix of one tracker as JSON: geometry, mean,
+ * and a row-per-set array of per-way efficiencies in [0, 1]. Embedded
+ * under extras by the heat-map benches so figures can be regenerated
+ * from a report alone.
+ */
+Json efficiencyMatrixJson(const stats::EfficiencyTracker &tracker);
 
 /**
  * Build the standard suite report from a core::runSuite sweep:

@@ -1,0 +1,124 @@
+#include "service/client.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace ghrp::service
+{
+
+ServiceClient::ServiceClient(std::string socket_path)
+    : path(std::move(socket_path))
+{
+}
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+void
+ServiceClient::close()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    decoder = FrameDecoder();
+}
+
+bool
+ServiceClient::connect(double timeout_seconds)
+{
+    using Clock = std::chrono::steady_clock;
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path))
+        throw ProtocolError("socket path too long: " + path);
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+    const Clock::time_point deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeout_seconds));
+    auto backoff = std::chrono::milliseconds(50);
+    while (true) {
+        const int sock = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (sock < 0)
+            throw ProtocolError(std::string("socket failed: ") +
+                                std::strerror(errno));
+        if (::connect(sock, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0) {
+            fd = sock;
+            return true;
+        }
+        ::close(sock);
+        if (Clock::now() + backoff > deadline)
+            return false;
+        std::this_thread::sleep_for(backoff);
+        backoff = std::min(backoff * 2, std::chrono::milliseconds(1000));
+    }
+}
+
+void
+ServiceClient::send(const report::Json &message)
+{
+    if (fd < 0)
+        throw ProtocolError("send on a disconnected client");
+    const std::string frame = encodeFrame(message);
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+        const ssize_t n = ::send(fd, frame.data() + sent,
+                                 frame.size() - sent, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            close();
+            throw ProtocolError(std::string("send failed: ") +
+                                std::strerror(errno));
+        }
+        sent += static_cast<std::size_t>(n);
+    }
+}
+
+std::optional<report::Json>
+ServiceClient::receive()
+{
+    if (fd < 0)
+        return std::nullopt;
+    while (true) {
+        if (std::optional<report::Json> message = decoder.next())
+            return message;
+        char buf[64 * 1024];
+        const ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            decoder.feed(buf, static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        close();  // EOF or hard error
+        return std::nullopt;
+    }
+}
+
+report::Json
+ServiceClient::request(const report::Json &message)
+{
+    send(message);
+    std::optional<report::Json> reply = receive();
+    if (!reply)
+        throw ProtocolError("connection closed before a reply arrived");
+    if (checkMessage(*reply) == "error")
+        throw ProtocolError(reply->at("error").asString());
+    return *std::move(reply);
+}
+
+} // namespace ghrp::service

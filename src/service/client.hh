@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Blocking unix-domain-socket client for the sweep-serving daemon:
+ * connect with exponential backoff, exchange framed protocol messages
+ * (service/protocol), and reconnect-capable helpers for the watch
+ * stream. Used by tools/ghrp-client and the service tests.
+ */
+
+#ifndef GHRP_SERVICE_CLIENT_HH
+#define GHRP_SERVICE_CLIENT_HH
+
+#include <optional>
+#include <string>
+
+#include "service/protocol.hh"
+
+namespace ghrp::service
+{
+
+class ServiceClient
+{
+  public:
+    explicit ServiceClient(std::string socket_path);
+    ~ServiceClient();
+
+    ServiceClient(const ServiceClient &) = delete;
+    ServiceClient &operator=(const ServiceClient &) = delete;
+
+    /**
+     * Connect, retrying with exponential backoff (50 ms doubling to
+     * 1 s) until connected or @p timeout_seconds elapsed. Returns
+     * whether the connection is up. Reconnecting an open client
+     * closes the old socket first.
+     */
+    bool connect(double timeout_seconds = 10.0);
+
+    void close();
+    bool connected() const { return fd >= 0; }
+    const std::string &socketPath() const { return path; }
+
+    /** Send one message; throws ProtocolError on a broken socket. */
+    void send(const report::Json &message);
+
+    /**
+     * Block for the next message. nullopt means the server closed the
+     * connection (e.g. it was killed); callers that must survive that
+     * reconnect() and re-issue their request.
+     */
+    std::optional<report::Json> receive();
+
+    /**
+     * send() + receive() one reply; throws ProtocolError when the
+     * connection drops before a reply arrives or when the reply is an
+     * error message (the error text is rethrown).
+     */
+    report::Json request(const report::Json &message);
+
+  private:
+    std::string path;
+    int fd = -1;
+    FrameDecoder decoder;
+};
+
+} // namespace ghrp::service
+
+#endif // GHRP_SERVICE_CLIENT_HH

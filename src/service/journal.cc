@@ -1,0 +1,187 @@
+#include "service/journal.hh"
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace ghrp::service
+{
+
+namespace
+{
+
+void
+putU32(std::string &out, std::uint32_t value)
+{
+    out.push_back(static_cast<char>(value & 0xff));
+    out.push_back(static_cast<char>((value >> 8) & 0xff));
+    out.push_back(static_cast<char>((value >> 16) & 0xff));
+    out.push_back(static_cast<char>((value >> 24) & 0xff));
+}
+
+std::uint32_t
+getU32(const char *data)
+{
+    const auto byte = [data](int i) {
+        return static_cast<std::uint32_t>(
+            static_cast<unsigned char>(data[i]));
+    };
+    return byte(0) | (byte(1) << 8) | (byte(2) << 16) | (byte(3) << 24);
+}
+
+} // anonymous namespace
+
+std::uint32_t
+crc32(const void *data, std::size_t size)
+{
+    static const auto table = [] {
+        std::array<std::uint32_t, 256> t{};
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            std::uint32_t c = i;
+            for (int bit = 0; bit < 8; ++bit)
+                c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+            t[i] = c;
+        }
+        return t;
+    }();
+
+    std::uint32_t crc = 0xffffffffu;
+    const auto *bytes = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < size; ++i)
+        crc = table[(crc ^ bytes[i]) & 0xff] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+FsyncPolicy
+parseFsyncPolicy(const std::string &name)
+{
+    if (name == "every")
+        return FsyncPolicy::EveryRecord;
+    if (name == "close")
+        return FsyncPolicy::Close;
+    if (name == "off")
+        return FsyncPolicy::Never;
+    throw JournalError("unknown fsync policy '" + name +
+                       "' (expected every|close|off)");
+}
+
+Journal::~Journal()
+{
+    try {
+        close();
+    } catch (const JournalError &) {
+        // Destructors must not throw; close() failures on teardown are
+        // reported by the explicit close() call sites that care.
+    }
+}
+
+void
+Journal::open(const std::string &journal_path, FsyncPolicy policy)
+{
+    close();
+    fd = ::open(journal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
+                0644);
+    if (fd < 0)
+        throw JournalError("cannot open journal '" + journal_path +
+                           "': " + std::strerror(errno));
+    fsyncPolicy = policy;
+    path = journal_path;
+}
+
+void
+Journal::append(const report::Json &record)
+{
+    if (fd < 0)
+        throw JournalError("append to a closed journal");
+
+    const std::string payload = record.dump(0);
+    if (payload.size() > kMaxRecordBytes)
+        throw JournalError("journal record of " +
+                           std::to_string(payload.size()) +
+                           " bytes exceeds the record maximum");
+
+    std::string frame;
+    frame.reserve(8 + payload.size());
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU32(frame, crc32(payload.data(), payload.size()));
+    frame += payload;
+
+    // Full-write loop: O_APPEND makes each write() an atomic append,
+    // and short writes (signals, quotas) are continued until the frame
+    // is complete or the disk says no.
+    std::size_t written = 0;
+    while (written < frame.size()) {
+        const ssize_t n = ::write(fd, frame.data() + written,
+                                  frame.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw JournalError("write to journal '" + path +
+                               "' failed: " + std::strerror(errno));
+        }
+        written += static_cast<std::size_t>(n);
+    }
+
+    if (fsyncPolicy == FsyncPolicy::EveryRecord && ::fdatasync(fd) != 0)
+        throw JournalError("fdatasync of journal '" + path +
+                           "' failed: " + std::strerror(errno));
+}
+
+void
+Journal::close()
+{
+    if (fd < 0)
+        return;
+    const int closing = fd;
+    fd = -1;
+    if (fsyncPolicy == FsyncPolicy::Close && ::fdatasync(closing) != 0) {
+        ::close(closing);
+        throw JournalError("fdatasync of journal '" + path +
+                           "' failed: " + std::strerror(errno));
+    }
+    if (::close(closing) != 0)
+        throw JournalError("close of journal '" + path +
+                           "' failed: " + std::strerror(errno));
+}
+
+JournalScan
+readJournal(const std::string &path)
+{
+    JournalScan scan;
+    std::ifstream file(path, std::ios::binary);
+    if (!file)
+        return scan;
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string bytes = buffer.str();
+
+    std::size_t offset = 0;
+    while (offset + 8 <= bytes.size()) {
+        const std::uint32_t length = getU32(bytes.data() + offset);
+        const std::uint32_t crc = getU32(bytes.data() + offset + 4);
+        if (length > kMaxRecordBytes ||
+            offset + 8 + length > bytes.size())
+            break;  // torn or corrupt tail
+        const char *payload = bytes.data() + offset + 8;
+        if (crc32(payload, length) != crc)
+            break;
+        report::Json record;
+        try {
+            record = report::Json::parse(std::string(payload, length));
+        } catch (const report::JsonError &) {
+            break;
+        }
+        scan.records.push_back(std::move(record));
+        offset += 8 + length;
+    }
+    scan.durableBytes = offset;
+    scan.truncatedTail = offset < bytes.size();
+    return scan;
+}
+
+} // namespace ghrp::service

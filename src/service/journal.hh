@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Crash-safe append-only job journal for the sweep-serving daemon.
+ *
+ * One journal file per job. Each record is framed on disk as
+ *
+ *   [u32 LE payload length][u32 LE CRC-32 of payload][payload]
+ *
+ * where the payload is one compact JSON object. Records are written
+ * with O_APPEND in a single full-write loop and (under the default
+ * fsync policy) made durable with fdatasync before append() returns,
+ * so a record either exists completely or not at all after a crash.
+ *
+ * readJournal() replays a file and stops at the first torn or corrupt
+ * record (short header, short payload, CRC mismatch, unparsable
+ * JSON): everything before it is the durable prefix, the tail is
+ * reported but ignored. A daemon restarted after `kill -9` therefore
+ * resumes from exactly the legs whose records completed.
+ *
+ * Record types written by the server (the journal itself is
+ * type-agnostic):
+ *   job  {job, experiment, options, priority, timeoutSeconds}
+ *   leg  {traceIndex, policy, leg}          — one completed leg
+ *   done {} / failed {error} / cancelled {} — terminal markers
+ */
+
+#ifndef GHRP_SERVICE_JOURNAL_HH
+#define GHRP_SERVICE_JOURNAL_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "report/json.hh"
+
+namespace ghrp::service
+{
+
+/** Thrown on journal I/O failures (open, write, fsync). */
+struct JournalError : std::runtime_error
+{
+    explicit JournalError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Largest accepted record payload; larger means corruption. */
+inline constexpr std::size_t kMaxRecordBytes = 64u * 1024 * 1024;
+
+/** When appended records are forced to stable storage. */
+enum class FsyncPolicy : std::uint8_t
+{
+    EveryRecord,  ///< fdatasync after each append (crash-safe default)
+    Close,        ///< one fdatasync on close (batch jobs, fast disks)
+    Never         ///< no explicit sync (tests, throwaway runs)
+};
+
+/** Parse "every" / "close" / "off"; throws JournalError otherwise. */
+FsyncPolicy parseFsyncPolicy(const std::string &name);
+
+/** Append-only record writer for one journal file. */
+class Journal
+{
+  public:
+    Journal() = default;
+    ~Journal();
+
+    Journal(const Journal &) = delete;
+    Journal &operator=(const Journal &) = delete;
+
+    /** Open @p path for appending, creating it if needed. */
+    void open(const std::string &path, FsyncPolicy policy);
+
+    /** Frame, write and (policy-dependent) sync one record. */
+    void append(const report::Json &record);
+
+    /** Sync (policy Close) and close the file. Idempotent. */
+    void close();
+
+    bool isOpen() const { return fd >= 0; }
+
+  private:
+    int fd = -1;
+    FsyncPolicy fsyncPolicy = FsyncPolicy::EveryRecord;
+    std::string path;
+};
+
+/** Result of replaying a journal file. */
+struct JournalScan
+{
+    std::vector<report::Json> records;  ///< the durable prefix
+    std::uint64_t durableBytes = 0;     ///< file offset after last record
+    bool truncatedTail = false;  ///< torn/corrupt bytes followed it
+};
+
+/**
+ * Replay @p path. A missing file yields an empty scan; a torn or
+ * corrupt tail sets truncatedTail and is excluded from records.
+ */
+JournalScan readJournal(const std::string &path);
+
+/** CRC-32 (IEEE 802.3 polynomial, the zlib convention). */
+std::uint32_t crc32(const void *data, std::size_t size);
+
+} // namespace ghrp::service
+
+#endif // GHRP_SERVICE_JOURNAL_HH

@@ -1,0 +1,102 @@
+#include "service/protocol.hh"
+
+#include <cstring>
+
+namespace ghrp::service
+{
+
+namespace
+{
+
+std::string
+encodeLength(std::size_t size)
+{
+    std::string header(4, '\0');
+    header[0] = static_cast<char>((size >> 24) & 0xff);
+    header[1] = static_cast<char>((size >> 16) & 0xff);
+    header[2] = static_cast<char>((size >> 8) & 0xff);
+    header[3] = static_cast<char>(size & 0xff);
+    return header;
+}
+
+std::size_t
+decodeLength(const char *data)
+{
+    const auto byte = [data](int i) {
+        return static_cast<std::size_t>(
+            static_cast<unsigned char>(data[i]));
+    };
+    return (byte(0) << 24) | (byte(1) << 16) | (byte(2) << 8) | byte(3);
+}
+
+} // anonymous namespace
+
+std::string
+encodeFrame(const report::Json &message)
+{
+    const std::string payload = message.dump(0);
+    if (payload.size() > kMaxFrameBytes)
+        throw ProtocolError("frame payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the protocol maximum");
+    return encodeLength(payload.size()) + payload;
+}
+
+void
+FrameDecoder::feed(const char *data, std::size_t size)
+{
+    buffer.append(data, size);
+}
+
+std::optional<report::Json>
+FrameDecoder::next()
+{
+    if (buffer.size() < 4)
+        return std::nullopt;
+    const std::size_t length = decodeLength(buffer.data());
+    if (length > kMaxFrameBytes)
+        throw ProtocolError("incoming frame of " + std::to_string(length) +
+                            " bytes exceeds the protocol maximum");
+    if (buffer.size() < 4 + length)
+        return std::nullopt;
+    const std::string payload = buffer.substr(4, length);
+    buffer.erase(0, 4 + length);
+    return report::Json::parse(payload);
+}
+
+report::Json
+makeMessage(const std::string &type)
+{
+    report::Json message = report::Json::object();
+    message.set("proto", kProtocolName);
+    report::Json version = report::Json::object();
+    version.set("major", kProtocolMajor);
+    version.set("minor", kProtocolMinor);
+    message.set("version", std::move(version));
+    message.set("type", type);
+    return message;
+}
+
+std::string
+checkMessage(const report::Json &message)
+{
+    try {
+        const report::Json *proto = message.find("proto");
+        if (!proto || proto->asString() != kProtocolName)
+            throw ProtocolError("not a " + std::string(kProtocolName) +
+                                " message");
+        const int major = static_cast<int>(
+            message.at("version").at("major").asInt());
+        if (major > kProtocolMajor)
+            throw ProtocolError(
+                "unsupported protocol major version " +
+                std::to_string(major) + " (peer supports " +
+                std::to_string(kProtocolMajor) + ")");
+        return message.at("type").asString();
+    } catch (const report::JsonError &e) {
+        throw ProtocolError(std::string("malformed message envelope: ") +
+                            e.what());
+    }
+}
+
+} // namespace ghrp::service

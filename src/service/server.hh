@@ -1,0 +1,254 @@
+/**
+ * @file
+ * The sweep-serving daemon core: accepts jobs over a unix-domain
+ * socket (service/protocol), queues them with bounded backpressure,
+ * executes them one at a time on the shared suite runner, journals
+ * every completed leg (service/journal) and streams progress to
+ * watching clients.
+ *
+ * Threading model: one poll()-driven network thread (run()) owns all
+ * sockets and the job table; one worker thread executes jobs (each
+ * job internally fans out over the runner's thread pool). The worker
+ * communicates with the network thread through a mutex-protected
+ * event queue plus a wakeup pipe, and requestStop() is async-signal-
+ * safe (a single write to a self-pipe), so SIGTERM handlers can call
+ * it directly.
+ *
+ * Durability: the submit handler journals the job record before
+ * acknowledging, the worker journals each completed leg, and a
+ * terminal record (done/failed/cancelled) seals the file. A daemon
+ * restarted over the same --journal-dir re-enqueues every unsealed
+ * job with a skip-set of its journaled legs; the runner re-simulates
+ * only the missing legs and the journaled results are injected back
+ * into their slots, so the final report matches an uninterrupted run
+ * leg for leg.
+ *
+ * Warm-daemon speedups: one TraceStore and one LRU cache of decoded
+ * traces (keyed by content, granularity and direction predictor) are
+ * shared across jobs, so repeated sweeps skip generation and decode
+ * entirely.
+ */
+
+#ifndef GHRP_SERVICE_SERVER_HH
+#define GHRP_SERVICE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/runner.hh"
+#include "report/report.hh"
+#include "service/journal.hh"
+#include "service/protocol.hh"
+#include "workload/trace_store.hh"
+
+namespace ghrp::service
+{
+
+/** Configuration of one daemon instance. */
+struct ServerConfig
+{
+    std::string socketPath;   ///< unix-domain socket to listen on
+    std::string journalDir;   ///< per-job journals + final reports
+    std::string traceCacheDir;  ///< shared TraceStore root ("" = env)
+
+    /** Runner threads per job (SuiteOptions::jobs semantics); jobs
+     *  submitted with jobs == 0 also inherit this. */
+    unsigned jobs = 0;
+
+    /** Queued-job bound; submits beyond it are rejected with a
+     *  retry-after hint (the running job does not count). */
+    std::size_t maxQueue = 8;
+    /** Retry-after hint attached to queue-full rejections. */
+    unsigned retryAfterSeconds = 5;
+
+    FsyncPolicy fsync = FsyncPolicy::EveryRecord;
+
+    /** Decoded traces kept hot across jobs (LRU); 0 disables. */
+    std::size_t decodedCacheTraces = 32;
+
+    /** Test hook: start with the worker paused so queue behaviour
+     *  (backpressure, priorities) is deterministic; resumeWorker()
+     *  releases it. */
+    bool startPaused = false;
+};
+
+/** Lifecycle states of a job. */
+enum class JobState : std::uint8_t
+{
+    Queued,
+    Running,
+    Done,
+    Failed,
+    Cancelled
+};
+
+/** Display name ("queued", "running", ...). */
+const char *jobStateName(JobState state);
+
+class ServiceServer
+{
+  public:
+    explicit ServiceServer(ServerConfig config);
+    ~ServiceServer();
+
+    ServiceServer(const ServiceServer &) = delete;
+    ServiceServer &operator=(const ServiceServer &) = delete;
+
+    /**
+     * Bind the socket, replay existing journals (re-enqueueing
+     * unfinished jobs) and start the worker thread. Throws
+     * std::runtime_error on socket/journal-directory failures.
+     */
+    void start();
+
+    /**
+     * Serve until requestStop(): accept clients, dispatch requests,
+     * forward worker events to watchers. On exit the worker has
+     * drained its in-flight legs into the journal and stopped.
+     */
+    void run();
+
+    /**
+     * Ask run() to return. Async-signal-safe (one byte to a self-
+     * pipe); callable from signal handlers and other threads. The
+     * in-flight job stops at the next leg boundary with its completed
+     * legs journaled but no terminal record, so a restart resumes it.
+     */
+    void requestStop();
+
+    /** Release a startPaused worker (test hook). */
+    void resumeWorker();
+
+    const ServerConfig &config() const { return cfg; }
+
+    /** Journal path of @p job_id: <journalDir>/<job_id>.journal. */
+    std::string journalPath(const std::string &job_id) const;
+    /** Report path of @p job_id: <journalDir>/<job_id>.report.json. */
+    std::string reportPath(const std::string &job_id) const;
+
+  private:
+    struct Job
+    {
+        std::string id;
+        std::string experiment;
+        core::SuiteOptions options;
+        report::Json optionsJson = report::Json::object();
+        std::int64_t priority = 0;
+        double timeoutSeconds = 0.0;  ///< 0 = no timeout
+
+        JobState state = JobState::Queued;
+        std::string error;
+        std::size_t completedLegs = 0;
+        std::size_t totalLegs = 0;
+
+        /** Legs recovered from the journal on restart, keyed by
+         *  (trace index, policy); injected into the runner's skipped
+         *  slots before the report is built. */
+        std::map<std::pair<std::size_t, frontend::PolicyKind>,
+                 report::Leg>
+            recoveredLegs;
+
+        bool cancelRequested = false;
+    };
+
+    struct Connection
+    {
+        int fd = -1;
+        FrameDecoder decoder;
+        std::string outBuffer;
+        std::string watchedJob;  ///< non-empty: streaming progress
+        bool closeAfterFlush = false;
+    };
+
+    /** Worker -> network-thread notification. */
+    struct Event
+    {
+        enum class Kind : std::uint8_t
+        {
+            Progress,
+            StateChange
+        };
+        Kind kind = Kind::Progress;
+        std::string job;
+        std::size_t completed = 0;
+        std::size_t total = 0;
+        std::string leg;  ///< "trace / policy" label (Progress)
+    };
+
+    // --- network thread ---------------------------------------------
+    void bindSocket();
+    void acceptClient();
+    void handleReadable(Connection &conn);
+    void dispatch(Connection &conn, const report::Json &message);
+    void cmdSubmit(Connection &conn, const report::Json &message);
+    void cmdStatus(Connection &conn, const report::Json &message);
+    void cmdWatch(Connection &conn, const report::Json &message);
+    void cmdResult(Connection &conn, const report::Json &message);
+    void cmdCancel(Connection &conn, const report::Json &message);
+    void sendMessage(Connection &conn, const report::Json &message);
+    void sendError(Connection &conn, const std::string &text);
+    void flushOut(Connection &conn);
+    void closeConnection(std::size_t index);
+    void drainEvents();
+    report::Json jobStatusMessage(const Job &job);
+
+    // --- worker thread ----------------------------------------------
+    void workerMain();
+    void executeJob(const std::string &job_id);
+    void postEvent(Event event);
+    std::shared_ptr<const trace::DecodedTrace>
+    cachedDecoded(const workload::TraceSpec &spec,
+                  const core::SuiteOptions &options);
+
+    // --- startup ----------------------------------------------------
+    void recoverJournals();
+    bool recoverOne(const std::string &job_id);
+
+    ServerConfig cfg;
+
+    int listenFd = -1;
+    int stopPipe[2] = {-1, -1};   ///< requestStop -> poll wakeup
+    int eventPipe[2] = {-1, -1};  ///< worker events -> poll wakeup
+    std::vector<Connection> connections;
+    bool stopping = false;  ///< network thread only
+    /** Seen by the worker's cancellation hook from runner threads. */
+    std::atomic<bool> stopRequested{false};
+
+    /** Guards jobs, queue, counters and worker pause state. */
+    std::mutex jobsMutex;
+    std::condition_variable workerCv;
+    std::map<std::string, Job> jobs;
+    /** Queued job ids; the worker pops the best (priority, FIFO). */
+    std::deque<std::string> queue;
+    std::uint64_t nextJobNumber = 1;
+    bool workerPaused = false;
+    bool workerExit = false;
+    std::thread worker;
+
+    std::mutex eventsMutex;
+    std::deque<Event> events;
+
+    /** Shared across jobs: the warm-daemon fast path. */
+    workload::TraceStore traceStore;
+    std::mutex decodedMutex;
+    struct DecodedEntry
+    {
+        std::uint64_t key;
+        std::shared_ptr<const trace::DecodedTrace> trace;
+    };
+    std::list<DecodedEntry> decodedLru;  ///< front = most recent
+};
+
+} // namespace ghrp::service
+
+#endif // GHRP_SERVICE_SERVER_HH

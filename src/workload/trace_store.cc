@@ -147,8 +147,17 @@ TraceStore::persist(const trace::Trace &tr, const std::string &path)
         std::filesystem::remove(tmp, ec);
         return;
     }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
+    // A failed publish (rename) is the same condition as a failed
+    // write — a full or broken disk, a directory swapped for something
+    // unwritable — so it also flips the store to read-only instead of
+    // re-paying a doomed serialize+rename for every later trace.
+    std::error_code rename_ec;
+    std::filesystem::rename(tmp, path, rename_ec);
+    if (rename_ec) {
+        if (!writeFailed.exchange(true))
+            warn("trace store: cannot publish '%s' (%s); continuing "
+                 "without persisting", path.c_str(),
+                 rename_ec.message().c_str());
         std::filesystem::remove(tmp, ec);
         return;
     }

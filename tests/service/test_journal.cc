@@ -1,0 +1,173 @@
+/** @file Unit tests for the crash-safe job journal. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "service/journal.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::service;
+
+std::string
+scratchFile(const std::string &name)
+{
+    const std::string path =
+        ::testing::TempDir() + "/journal-" + name + ".journal";
+    std::filesystem::remove(path);
+    return path;
+}
+
+report::Json
+record(int n)
+{
+    report::Json j = report::Json::object();
+    j.set("type", "leg");
+    j.set("n", std::int64_t(n));
+    return j;
+}
+
+std::string
+readRaw(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(file), {});
+}
+
+void
+writeRaw(const std::string &path, const std::string &bytes)
+{
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    file.write(bytes.data(),
+               static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Journal, RoundTrip)
+{
+    const std::string path = scratchFile("roundtrip");
+    Journal journal;
+    journal.open(path, FsyncPolicy::Never);
+    for (int i = 0; i < 5; ++i)
+        journal.append(record(i));
+    journal.close();
+
+    const JournalScan scan = readJournal(path);
+    EXPECT_FALSE(scan.truncatedTail);
+    ASSERT_EQ(scan.records.size(), 5u);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(scan.records[i].at("n").asInt(), i);
+    EXPECT_EQ(scan.durableBytes,
+              std::filesystem::file_size(path));
+}
+
+TEST(Journal, MissingFileYieldsEmptyScan)
+{
+    const JournalScan scan =
+        readJournal(scratchFile("does-not-exist"));
+    EXPECT_TRUE(scan.records.empty());
+    EXPECT_FALSE(scan.truncatedTail);
+    EXPECT_EQ(scan.durableBytes, 0u);
+}
+
+TEST(Journal, TornTailTruncatedAtEveryOffset)
+{
+    const std::string path = scratchFile("torn");
+    Journal journal;
+    journal.open(path, FsyncPolicy::Never);
+    journal.append(record(0));
+    journal.append(record(1));
+    journal.close();
+    const std::string full = readRaw(path);
+    ASSERT_GT(full.size(), 16u);
+    // Both records serialize to the same compact JSON length, so the
+    // first frame ends exactly halfway through the file.
+    const std::size_t first_end = full.size() / 2;
+
+    // Chop the file after every possible byte count: the scan must
+    // keep exactly the records whose frames fit completely, and flag
+    // the tail whenever bytes were lost mid-record.
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        writeRaw(path, full.substr(0, cut));
+        const JournalScan scan = readJournal(path);
+        if (cut < first_end) {
+            EXPECT_EQ(scan.records.size(), 0u) << "cut=" << cut;
+            EXPECT_EQ(scan.truncatedTail, cut != 0) << "cut=" << cut;
+        } else {
+            EXPECT_EQ(scan.records.size(), 1u) << "cut=" << cut;
+            EXPECT_EQ(scan.truncatedTail, cut != first_end)
+                << "cut=" << cut;
+        }
+    }
+
+    writeRaw(path, full);
+    const JournalScan intact = readJournal(path);
+    EXPECT_EQ(intact.records.size(), 2u);
+    EXPECT_FALSE(intact.truncatedTail);
+}
+
+TEST(Journal, CorruptPayloadStopsScan)
+{
+    const std::string path = scratchFile("bitflip");
+    Journal journal;
+    journal.open(path, FsyncPolicy::Never);
+    journal.append(record(0));
+    journal.append(record(1));
+    journal.append(record(2));
+    journal.close();
+
+    std::string bytes = readRaw(path);
+    // Flip one payload bit inside the second record (skip the first
+    // record's frame, then its 8-byte header).
+    const JournalScan before = readJournal(path);
+    ASSERT_EQ(before.records.size(), 3u);
+    const std::size_t first_frame = before.durableBytes / 3;
+    bytes[first_frame + 8 + 2] ^= 0x01;
+    writeRaw(path, bytes);
+
+    const JournalScan scan = readJournal(path);
+    EXPECT_EQ(scan.records.size(), 1u);
+    EXPECT_TRUE(scan.truncatedTail);
+    EXPECT_EQ(scan.records[0].at("n").asInt(), 0);
+}
+
+TEST(Journal, AppendAfterReopenExtends)
+{
+    const std::string path = scratchFile("reopen");
+    {
+        Journal journal;
+        journal.open(path, FsyncPolicy::Close);
+        journal.append(record(0));
+        journal.close();
+    }
+    {
+        Journal journal;
+        journal.open(path, FsyncPolicy::Close);
+        journal.append(record(1));
+    }  // destructor closes
+    const JournalScan scan = readJournal(path);
+    ASSERT_EQ(scan.records.size(), 2u);
+    EXPECT_EQ(scan.records[1].at("n").asInt(), 1);
+}
+
+TEST(Journal, ParseFsyncPolicy)
+{
+    EXPECT_EQ(parseFsyncPolicy("every"), FsyncPolicy::EveryRecord);
+    EXPECT_EQ(parseFsyncPolicy("close"), FsyncPolicy::Close);
+    EXPECT_EQ(parseFsyncPolicy("off"), FsyncPolicy::Never);
+    EXPECT_THROW(parseFsyncPolicy("sometimes"), JournalError);
+}
+
+TEST(Journal, Crc32MatchesKnownVector)
+{
+    // The classic zlib check value.
+    EXPECT_EQ(crc32("123456789", 9), 0xcbf43926u);
+    EXPECT_EQ(crc32("", 0), 0u);
+}
+
+} // anonymous namespace

@@ -202,4 +202,36 @@ TEST(TraceStoreTest, TruncatedFileIsAMiss)
     EXPECT_EQ(store.stats().misses, 2u);
 }
 
+TEST(TraceStoreTest, FailedPublishFallsBackToStoreless)
+{
+    const std::string dir = scratchDir("publish-fail");
+    TraceStore store(dir);
+    const auto sp = specs();
+
+    // Occupy the entry's final path with a non-empty directory: the
+    // temp-file write succeeds but the atomic rename cannot replace
+    // it (a stand-in for ENOSPC or a broken store mount at publish
+    // time). acquire() must still return the trace, not die.
+    std::filesystem::create_directories(store.pathFor(sp[0], 40'000) +
+                                        "/occupied");
+    const trace::Trace first = store.acquire(sp[0], 40'000);
+    EXPECT_TRUE(sameTrace(first, buildTrace(sp[0], 40'000)));
+    EXPECT_EQ(store.stats().stores, 0u);
+
+    // The store flipped to read-only; later acquires keep working
+    // storeless instead of re-paying doomed publish attempts.
+    const trace::Trace second = store.acquire(sp[1], 40'000);
+    EXPECT_TRUE(sameTrace(second, buildTrace(sp[1], 40'000)));
+    EXPECT_EQ(store.stats().stores, 0u);
+    EXPECT_FALSE(
+        std::filesystem::exists(store.pathFor(sp[1], 40'000)));
+
+    // No temp droppings either: the failed publish cleaned up.
+    std::size_t regular_files = 0;
+    for (const auto &entry :
+         std::filesystem::recursive_directory_iterator(dir))
+        regular_files += entry.is_regular_file() ? 1 : 0;
+    EXPECT_EQ(regular_files, 0u);
+}
+
 } // anonymous namespace

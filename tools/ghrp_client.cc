@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ghrp-client: command-line client of the sweep-serving daemon.
+ *
+ *   ghrp-client submit --socket PATH [--experiment NAME] [--traces N]
+ *       [--seed S] [--instructions M] [--jobs N] [--priority P]
+ *       [--timeout SEC] [--wait] [--out FILE]
+ *       Submit a suite sweep (fig03-style defaults). With --wait,
+ *       stream progress until the job finishes, then fetch the run
+ *       report (to --out FILE, else stdout). The wait loop reconnects
+ *       with exponential backoff, so it survives a daemon restart.
+ *
+ *   ghrp-client status --socket PATH --job ID
+ *   ghrp-client watch  --socket PATH --job ID
+ *   ghrp-client result --socket PATH --job ID [--out FILE]
+ *   ghrp-client cancel --socket PATH --job ID
+ *   ghrp-client ping   --socket PATH
+ *   ghrp-client shutdown --socket PATH
+ *
+ * Exit codes: 0 success, 1 job failed/cancelled or rejected,
+ * 2 usage or connection error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "core/cli.hh"
+#include "report/report.hh"
+#include "service/client.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+using namespace ghrp;
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: ghrp-client submit --socket PATH [--experiment NAME]\n"
+        "           [--traces N] [--seed S] [--instructions M] [--jobs N]\n"
+        "           [--priority P] [--timeout SEC] [--wait] [--out FILE]\n"
+        "       ghrp-client status|watch|result|cancel --socket PATH"
+        " --job ID [--out FILE]\n"
+        "       ghrp-client ping|shutdown --socket PATH\n");
+    return 2;
+}
+
+/** Write @p text to --out FILE, or stdout when no flag was given. */
+void
+emit(const core::CliOptions &cli, const std::string &text)
+{
+    const std::string out = cli.getString("out", "");
+    if (out.empty()) {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::ofstream file(out);
+    if (!file || !(file << text))
+        throw service::ProtocolError("cannot write '" + out + "'");
+    std::fprintf(stderr, "wrote %s\n", out.c_str());
+}
+
+/** Fetch the finished job's report and emit it. */
+int
+fetchResult(service::ServiceClient &client, const core::CliOptions &cli,
+            const std::string &job)
+{
+    report::Json request = service::makeMessage("result");
+    request.set("job", job);
+    const report::Json reply = client.request(request);
+    if (service::checkMessage(reply) != "result")
+        throw service::ProtocolError("unexpected reply to result");
+    emit(cli, reply.at("report").dump(2) + "\n");
+    return 0;
+}
+
+/**
+ * Follow @p job until it reaches a terminal state, printing progress
+ * to stderr. Survives daemon restarts: on EOF the watch reconnects
+ * with backoff and re-issues the request (the restarted daemon knows
+ * the job from its journal).
+ */
+int
+followJob(service::ServiceClient &client, const std::string &job,
+          bool fetch, const core::CliOptions &cli)
+{
+    while (true) {
+        report::Json request = service::makeMessage("watch");
+        request.set("job", job);
+        client.send(request);
+
+        while (true) {
+            std::optional<report::Json> message = client.receive();
+            if (!message)
+                break;  // connection lost: reconnect below
+            const std::string type = service::checkMessage(*message);
+            if (type == "progress") {
+                std::fprintf(
+                    stderr, "\r[%llu/%llu] %-40s",
+                    static_cast<unsigned long long>(
+                        message->at("completed").asUint()),
+                    static_cast<unsigned long long>(
+                        message->at("total").asUint()),
+                    message->at("leg").asString().c_str());
+                continue;
+            }
+            if (type == "error")
+                throw service::ProtocolError(
+                    message->at("error").asString());
+            if (type != "jobStatus")
+                continue;
+            const std::string state = message->at("state").asString();
+            if (state == "queued" || state == "running")
+                continue;
+            std::fprintf(stderr, "\n%s: %s\n", job.c_str(),
+                         state.c_str());
+            if (state != "done") {
+                if (const report::Json *e = message->find("error"))
+                    std::fprintf(stderr, "%s\n",
+                                 e->asString().c_str());
+                return 1;
+            }
+            return fetch ? fetchResult(client, cli, job) : 0;
+        }
+
+        std::fprintf(stderr,
+                     "\nghrp-client: connection lost, reconnecting...\n");
+        if (!client.connect(60.0))
+            throw service::ProtocolError(
+                "could not reconnect to " + client.socketPath());
+    }
+}
+
+int
+cmdSubmit(service::ServiceClient &client, const core::CliOptions &cli)
+{
+    // fig03-style defaults: the paper's five policies over the
+    // standard suite, default front-end geometry.
+    core::SuiteOptions options;
+    options.numTraces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 24));
+    options.baseSeed = cli.getUint("seed", 42);
+    options.instructionOverride = cli.getUint("instructions", 0);
+    options.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
+
+    report::Json request = service::makeMessage("submit");
+    request.set("experiment",
+                cli.getString("experiment", "fig03_icache_scurve"));
+    request.set("options", report::suiteOptionsToJson(options));
+    request.set("priority",
+                static_cast<std::int64_t>(cli.getUint("priority", 0)));
+    request.set("timeoutSeconds", cli.getDouble("timeout", 0.0));
+
+    const report::Json reply = client.request(request);
+    const std::string type = service::checkMessage(reply);
+    if (type == "rejected") {
+        std::fprintf(stderr, "rejected: %s\n",
+                     reply.at("reason").asString().c_str());
+        if (const report::Json *retry = reply.find("retryAfterSeconds"))
+            std::fprintf(stderr, "retry after %llus\n",
+                         static_cast<unsigned long long>(
+                             retry->asUint()));
+        return 1;
+    }
+    if (type != "submitted")
+        throw service::ProtocolError("unexpected reply to submit");
+
+    const std::string job = reply.at("job").asString();
+    std::fprintf(stderr, "submitted %s\n", job.c_str());
+    if (!cli.has("wait")) {
+        std::printf("%s\n", job.c_str());
+        return 0;
+    }
+    return followJob(client, job, true, cli);
+}
+
+int
+cmdSimple(service::ServiceClient &client, const core::CliOptions &cli,
+          const std::string &type)
+{
+    report::Json request = service::makeMessage(type);
+    if (type != "ping" && type != "shutdown")
+        request.set("job", cli.getString("job", ""));
+    const report::Json reply = client.request(request);
+    std::printf("%s\n", reply.dump(2).c_str());
+    return 0;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    // argv[1] (the subcommand) takes the program-name slot so the flag
+    // parser sees only the remaining --flag arguments.
+    const core::CliOptions cli(argc - 1, argv + 1);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    const std::string socket = cli.getString("socket", "");
+    if (socket.empty())
+        return usage();
+
+    try {
+        service::ServiceClient client(socket);
+        if (!client.connect(cli.getDouble("timeout", 10.0))) {
+            std::fprintf(stderr, "ghrp-client: cannot connect to %s\n",
+                         socket.c_str());
+            return 2;
+        }
+
+        if (command == "submit")
+            return cmdSubmit(client, cli);
+        if (command == "status" || command == "cancel")
+            return cmdSimple(client, cli,
+                             command == "status" ? "status" : "cancel");
+        if (command == "watch")
+            return followJob(client, cli.getString("job", ""), false,
+                             cli);
+        if (command == "result")
+            return fetchResult(client, cli, cli.getString("job", ""));
+        if (command == "ping" || command == "shutdown")
+            return cmdSimple(client, cli, command);
+        return usage();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ghrp-client: %s\n", e.what());
+        return 2;
+    }
+}

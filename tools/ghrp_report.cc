@@ -19,6 +19,12 @@
  *       Write BENCH_<name>.json trajectory points (throughput and
  *       per-policy MPKI) for benchmark tracking.
  *
+ *   ghrp-report plot FILE... [--out-dir DIR]
+ *       Regenerate gnuplot S-curve sources from each report's legs:
+ *       an <experiment>_<structure>.dat rank table plus a .gp script
+ *       per structure (icache, btb) that saw accesses. Run
+ *       `gnuplot <experiment>_icache.gp` to render the PNG.
+ *
  * Exit codes: 0 success, 1 gate/drift failure, 2 usage or load error.
  */
 
@@ -47,7 +53,8 @@ usage()
         "[--check-docs DOC]\n"
         "       ghrp-report diff BASELINE CANDIDATE [--check] "
         "[--max-regress PCT]\n"
-        "       ghrp-report trajectory FILE [--out-dir DIR]\n");
+        "       ghrp-report trajectory FILE [--out-dir DIR]\n"
+        "       ghrp-report plot FILE... [--out-dir DIR]\n");
     return 2;
 }
 
@@ -216,6 +223,41 @@ cmdTrajectory(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdPlot(const std::vector<std::string> &args)
+{
+    std::vector<std::string> files;
+    std::string out_dir = ".";
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out-dir" && i + 1 < args.size())
+            out_dir = args[++i];
+        else if (args[i].rfind("--", 0) == 0)
+            return usage();
+        else
+            files.push_back(args[i]);
+    }
+    if (files.empty())
+        return usage();
+    std::filesystem::create_directories(out_dir);
+
+    for (const std::string &file : files) {
+        const report::RunReport run = report::RunReport::load(file);
+        const auto plots = report::plotFiles(run);
+        if (plots.empty()) {
+            std::fprintf(stderr,
+                         "ghrp-report: %s has no legs to plot\n",
+                         file.c_str());
+            return 1;
+        }
+        for (const auto &[name, content] : plots) {
+            const std::string path = out_dir + "/" + name;
+            writeFile(path, content);
+            std::printf("wrote %s\n", path.c_str());
+        }
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -233,6 +275,8 @@ main(int argc, char **argv)
             return cmdDiff(args);
         if (command == "trajectory")
             return cmdTrajectory(args);
+        if (command == "plot")
+            return cmdPlot(args);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ghrp-report: %s\n", e.what());

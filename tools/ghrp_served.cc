@@ -1,0 +1,84 @@
+/**
+ * @file
+ * ghrp-served: the long-running sweep-serving daemon.
+ *
+ *   ghrp-served --socket PATH --journal-dir DIR [--jobs N]
+ *               [--max-queue N] [--trace-cache DIR]
+ *               [--fsync every|close|off] [--quiet]
+ *
+ * Listens on a unix-domain socket for ghrp-client requests (see
+ * src/service/protocol.hh), executes submitted sweeps one at a time
+ * on the shared runner, journals every completed leg under
+ * --journal-dir and serves the finished ghrp-run-report JSON back.
+ * SIGTERM/SIGINT drain the in-flight job at the next leg boundary and
+ * exit; restarting over the same --journal-dir resumes every
+ * unfinished job from its last durable leg.
+ *
+ * Exit codes: 0 clean shutdown, 2 startup/usage error.
+ */
+
+#include <csignal>
+#include <cstdio>
+
+#include "core/cli.hh"
+#include "service/server.hh"
+#include "util/logging.hh"
+
+namespace
+{
+
+ghrp::service::ServiceServer *activeServer = nullptr;
+
+void
+handleSignal(int)
+{
+    if (activeServer)
+        activeServer->requestStop();  // async-signal-safe
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace ghrp;
+
+    const core::CliOptions cli(argc, argv);
+    if (cli.has("quiet"))
+        setLogLevel(LogLevel::Quiet);
+
+    service::ServerConfig config;
+    config.socketPath = cli.getString("socket", "");
+    config.journalDir = cli.getString("journal-dir", "");
+    config.traceCacheDir = cli.getString("trace-cache", "");
+    config.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
+    config.maxQueue = static_cast<std::size_t>(cli.getUint("max-queue", 8));
+
+    if (config.socketPath.empty() || config.journalDir.empty()) {
+        std::fprintf(stderr,
+                     "usage: ghrp-served --socket PATH --journal-dir DIR"
+                     " [--jobs N] [--max-queue N] [--trace-cache DIR]"
+                     " [--fsync every|close|off] [--quiet]\n");
+        return 2;
+    }
+
+    try {
+        config.fsync =
+            service::parseFsyncPolicy(cli.getString("fsync", "every"));
+
+        service::ServiceServer server(std::move(config));
+        server.start();
+
+        activeServer = &server;
+        std::signal(SIGTERM, handleSignal);
+        std::signal(SIGINT, handleSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+
+        server.run();
+        activeServer = nullptr;
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "ghrp-served: %s\n", e.what());
+        return 2;
+    }
+}
