@@ -31,8 +31,7 @@ main(int argc, char **argv)
         cli.getUint("instructions", 12'000'000);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "ablation_btb_stress");
 
     // One pool job per stress trace, results in per-trace slots so the
     // reduction below is deterministic. Per-trace seeds use the pure
@@ -80,12 +79,12 @@ main(int argc, char **argv)
             }));
         for (std::uint32_t t = 0; t < num_traces; ++t) {
             futures[t].get();
-            if (logLevel() != LogLevel::Quiet)
+            if (informEnabled())
                 std::fprintf(stderr, "\r[%u/%u traces]", t + 1,
                              num_traces);
         }
     }
-    if (logLevel() != LogLevel::Quiet)
+    if (informEnabled())
         std::fprintf(stderr, "\n");
     const double sweep_wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -138,5 +137,6 @@ main(int argc, char **argv)
     builder.addMetric("ghrp_dead_evict_pct", dead_evict_pct.mean());
     builder.setSweep(sweep_wall, jobs);
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "ablation_btb_stress");
     return 0;
 }

@@ -39,8 +39,7 @@ main(int argc, char **argv)
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "ablation_ghrp");
 
     const std::vector<Variant> variants = {
         {"GHRP (default)", [](frontend::FrontendConfig &) {}},
@@ -164,5 +163,6 @@ main(int argc, char **argv)
     builder.setSweep(sweep_wall, jobs,
                      specs.size() * (variants.size() + 1));
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "ablation_ghrp");
     return 0;
 }

@@ -26,8 +26,7 @@ main(int argc, char **argv)
         cli.getUint("instructions", 4'000'000);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "ablation_opt_headroom");
 
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
@@ -88,5 +87,6 @@ main(int argc, char **argv)
     builder.addMetric("mean_captured_pct", sum_captured / num_traces);
     builder.setSweep(sweep_wall, jobs, specs.size() * 3);
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "ablation_opt_headroom");
     return 0;
 }

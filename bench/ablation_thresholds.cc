@@ -52,8 +52,7 @@ main(int argc, char **argv)
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "ablation_thresholds");
 
     struct GhrpVariant
     {
@@ -199,5 +198,6 @@ main(int argc, char **argv)
                      specs.size() *
                          (1 + ghrp_variants.size() + sdbp_variants.size()));
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "ablation_thresholds");
     return 0;
 }

@@ -17,6 +17,15 @@
  *                      runs just skip regeneration)
  *   --leg-times        print the per-leg wall-time table
  *   --quiet            suppress progress and throughput reporting
+ *                      (equivalent to --log-level warn)
+ *   --log-level L      verbosity: quiet|warn|info (or GHRP_LOG_LEVEL)
+ *   --slow-leg-ms N    warn() about (trace, policy) legs slower than
+ *                      N milliseconds
+ *   --trace-out FILE   record spans and write a Chrome trace_event
+ *                      JSON (perfetto-loadable) of the run to FILE;
+ *                      with no flag, the GHRP_TRACE_DIR environment
+ *                      variable (when set) selects
+ *                      <dir>/<experiment>.trace.json
  *   --report FILE      write a versioned JSON run report (schema
  *                      "ghrp-run-report") to FILE; with no flag, the
  *                      GHRP_REPORT_DIR environment variable (when set)
@@ -36,6 +45,7 @@
 #include "core/cli.hh"
 #include "core/runner.hh"
 #include "report/report.hh"
+#include "telemetry/span.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/trace_store.hh"
@@ -43,10 +53,61 @@
 namespace ghrp::bench
 {
 
+/**
+ * Where this run's Chrome trace JSON should go: the --trace-out flag,
+ * else <GHRP_TRACE_DIR>/<experiment>.trace.json when the environment
+ * variable is set, else empty (tracing stays off).
+ */
+inline std::string
+tracePath(const core::CliOptions &cli, const std::string &experiment)
+{
+    const std::string path = cli.getString("trace-out", "");
+    if (!path.empty() || experiment.empty())
+        return path;
+    if (const char *dir = std::getenv("GHRP_TRACE_DIR"); dir && *dir)
+        return std::string(dir) + "/" + experiment + ".trace.json";
+    return "";
+}
+
+/**
+ * Per-binary telemetry setup: apply the unified log level (--log-level
+ * / --quiet / GHRP_LOG_LEVEL), name the main thread's trace row, and
+ * enable span recording when a --trace-out / GHRP_TRACE_DIR
+ * destination exists. Called by suiteOptions(); custom bench loops
+ * that bypass it call this directly.
+ */
+inline void
+initTelemetry(const core::CliOptions &cli, const std::string &experiment)
+{
+    core::applyLogLevel(cli);
+    telemetry::setThreadName("main");
+    if (!tracePath(cli, experiment).empty())
+        telemetry::setTracingEnabled(true);
+}
+
+/**
+ * Serialize the spans recorded so far to the --trace-out /
+ * GHRP_TRACE_DIR destination, if any. No-op (and no file) when
+ * tracing was never enabled.
+ */
+inline void
+writeTraceIfRequested(const core::CliOptions &cli,
+                      const std::string &experiment)
+{
+    const std::string path = tracePath(cli, experiment);
+    if (path.empty() || !telemetry::tracingEnabled())
+        return;
+    if (!telemetry::writeChromeTrace(path))
+        warn("cannot write trace '%s'", path.c_str());
+    else if (informEnabled())
+        std::fprintf(stderr, "[trace] wrote %s\n", path.c_str());
+}
+
 /** Build SuiteOptions from CLI flags with per-binary defaults. */
 inline core::SuiteOptions
 suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
-             std::uint64_t default_instructions)
+             std::uint64_t default_instructions,
+             const std::string &experiment = "")
 {
     core::SuiteOptions options;
     options.numTraces =
@@ -56,8 +117,8 @@ suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
         cli.getUint("instructions", default_instructions);
     options.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     options.traceCacheDir = cli.getString("trace-cache", "");
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    options.slowLegMs = cli.getDouble("slow-leg-ms", 0.0);
+    initTelemetry(cli, experiment);
     return options;
 }
 
@@ -84,7 +145,7 @@ writeReport(const report::RunReport &report, const std::string &path)
     if (path.empty())
         return;
     report.write(path);
-    if (logLevel() != LogLevel::Quiet)
+    if (informEnabled())
         std::fprintf(stderr, "[report] wrote %s\n", path.c_str());
 }
 
@@ -112,7 +173,7 @@ progressMeter()
 {
     return [](std::size_t done, std::size_t total,
               const std::string &what) {
-        if (logLevel() == LogLevel::Quiet)
+        if (!informEnabled())
             return;
         std::fprintf(stderr, "\r[%3zu/%3zu] %-40s", done, total,
                      what.c_str());
@@ -132,7 +193,7 @@ inline void
 reportThroughput(const core::SuiteResults &results, unsigned jobs,
                  bool print_leg_times = false)
 {
-    if (logLevel() == LogLevel::Quiet)
+    if (!informEnabled())
         return;
 
     const std::size_t legs = results.totalLegs();
@@ -200,6 +261,7 @@ runSuiteTimed(const core::SuiteOptions &options,
                      cli.has("leg-times"));
     writeReport(report::buildSuiteReport(experiment, options, results),
                 reportPath(cli, experiment));
+    writeTraceIfRequested(cli, experiment);
     return results;
 }
 
@@ -236,7 +298,7 @@ mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
             const trace::Trace tr =
                 store.acquire(specs[i], instruction_override);
             out[i] = fn(specs[i], tr);
-            if (logLevel() != LogLevel::Quiet)
+            if (informEnabled())
                 std::fprintf(stderr, "\r[%3zu/%3zu traces]", i + 1,
                              specs.size());
         }
@@ -252,7 +314,7 @@ mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
             }));
         for (std::size_t i = 0; i < futures.size(); ++i) {
             futures[i].get();
-            if (logLevel() != LogLevel::Quiet)
+            if (informEnabled())
                 std::fprintf(stderr, "\r[%3zu/%3zu traces]", i + 1,
                              specs.size());
         }
@@ -263,7 +325,7 @@ mapTraceSweep(const std::vector<workload::TraceSpec> &specs,
                             .count();
     if (wall_seconds_out)
         *wall_seconds_out = wall;
-    if (logLevel() != LogLevel::Quiet) {
+    if (informEnabled()) {
         const std::size_t legs = specs.size() * legs_per_trace;
         std::fprintf(stderr,
                      "\n[sweep] %zu traces (%zu legs) in %.2f s with "

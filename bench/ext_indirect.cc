@@ -25,8 +25,7 @@ main(int argc, char **argv)
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "ext_indirect");
 
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
@@ -93,5 +92,6 @@ main(int argc, char **argv)
     builder.addMetric("itp_indirect_mpki", itp_mpki.mean());
     builder.setSweep(sweep_wall, jobs);
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "ext_indirect");
     return 0;
 }

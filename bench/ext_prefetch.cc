@@ -26,8 +26,7 @@ main(int argc, char **argv)
     const std::uint64_t instructions = cli.getUint("instructions", 0);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "ext_prefetch");
 
     const std::vector<workload::TraceSpec> specs =
         workload::makeSuite(num_traces, base_seed);
@@ -93,5 +92,6 @@ main(int argc, char **argv)
     builder.setSweep(sweep_wall, jobs,
                      specs.size() * 2 * std::size(degrees));
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "ext_prefetch");
     return 0;
 }

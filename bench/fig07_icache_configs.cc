@@ -23,8 +23,7 @@ main(int argc, char **argv)
         cli.getUint("instructions", 4'000'000);
     const std::uint64_t base_seed = cli.getUint("seed", 42);
     const auto jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    bench::initTelemetry(cli, "fig07_icache_configs");
 
     struct Config
     {
@@ -106,5 +105,6 @@ main(int argc, char **argv)
                      specs.size() * std::size(configs) *
                          std::size(frontend::paperPolicies));
     bench::maybeWriteReport(cli, builder.finish());
+    bench::writeTraceIfRequested(cli, "fig07_icache_configs");
     return 0;
 }

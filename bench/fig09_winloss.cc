@@ -17,7 +17,7 @@ main(int argc, char **argv)
     using namespace ghrp;
 
     core::CliOptions cli(argc, argv);
-    core::SuiteOptions options = bench::suiteOptions(cli, 16, 0);
+    core::SuiteOptions options = bench::suiteOptions(cli, 16, 0, "fig09_winloss");
     const double tolerance = cli.getDouble("tolerance", 0.02);
 
     const core::SuiteResults results =

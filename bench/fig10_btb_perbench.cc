@@ -16,7 +16,7 @@ main(int argc, char **argv)
     using namespace ghrp;
 
     core::CliOptions cli(argc, argv);
-    core::SuiteOptions options = bench::suiteOptions(cli, 10, 0);
+    core::SuiteOptions options = bench::suiteOptions(cli, 10, 0, "fig10_btb_perbench");
     options.base.btb = cache::CacheConfig::btb(
         static_cast<std::uint32_t>(cli.getUint("btb-entries", 4096)),
         static_cast<std::uint32_t>(cli.getUint("btb-assoc", 4)));

@@ -80,6 +80,13 @@ knownCliFlags()
          "content-addressed trace store directory (or GHRP_TRACE_CACHE)"},
         {"leg-times", "print the per-leg wall-time table"},
         {"quiet", "suppress progress and throughput reporting"},
+        {"log-level",
+         "verbosity: quiet|warn|info (or GHRP_LOG_LEVEL)"},
+        {"slow-leg-ms",
+         "warn about (trace, policy) legs slower than N milliseconds"},
+        {"trace-out",
+         "write a Chrome trace_event JSON of the run to FILE "
+         "(or GHRP_TRACE_DIR)"},
         {"report",
          "write a versioned JSON run report to FILE (or GHRP_REPORT_DIR)"},
         {"kb", "I-cache size in KiB"},
@@ -107,8 +114,28 @@ knownCliFlags()
         {"wait", "ghrp-client submit: follow the job and fetch its report"},
         {"job", "ghrp-client: job id for status/watch/result/cancel"},
         {"out", "ghrp-client/ghrp-report: output file or directory"},
+        {"prometheus",
+         "ghrp-client metrics: render Prometheus text instead of JSON"},
     };
     return flags;
+}
+
+void
+applyLogLevel(const CliOptions &cli)
+{
+    std::string name;
+    if (const char *env = std::getenv("GHRP_LOG_LEVEL"))
+        name = env;
+    if (cli.has("quiet"))
+        name = "warn";
+    name = cli.getString("log-level", name);
+    if (name.empty())
+        return;
+    LogLevel level;
+    if (!parseLogLevel(name, level))
+        fatal("unknown log level '%s' (expected quiet|warn|info)",
+              name.c_str());
+    setLogLevel(level);
 }
 
 } // namespace ghrp::core

@@ -65,6 +65,15 @@ struct CliFlag
  */
 const std::vector<CliFlag> &knownCliFlags();
 
+/**
+ * Apply the unified verbosity flags: --log-level quiet|warn|info
+ * (aliases: normal, debug/verbose), the GHRP_LOG_LEVEL environment
+ * variable, and the legacy --quiet (mapped to Warn — progress off,
+ * warnings on). Precedence: --log-level > --quiet > GHRP_LOG_LEVEL.
+ * fatal() on an unknown level name.
+ */
+void applyLogLevel(const CliOptions &cli);
+
 } // namespace ghrp::core
 
 #endif // GHRP_CORE_CLI_HH

@@ -5,6 +5,8 @@
 #include <memory>
 #include <mutex>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -120,6 +122,29 @@ namespace
 
 using DecodedPtr = std::shared_ptr<const trace::DecodedTrace>;
 
+/** Sweep telemetry, resolved once per process. */
+struct SweepMetrics
+{
+    telemetry::Counter &legs;
+    telemetry::Counter &slowLegs;
+    telemetry::Counter &tracesDecoded;
+    telemetry::Histogram &legSeconds;
+    telemetry::Histogram &decodeSeconds;
+};
+
+SweepMetrics &
+sweepMetrics()
+{
+    static SweepMetrics m{
+        telemetry::metrics().counter("sweep.legs"),
+        telemetry::metrics().counter("sweep.slow_legs"),
+        telemetry::metrics().counter("sweep.traces_decoded"),
+        telemetry::metrics().histogram("sweep.leg_seconds"),
+        telemetry::metrics().histogram("sweep.decode_seconds"),
+    };
+    return m;
+}
+
 /** Shared bookkeeping for one sweep: pre-sized result slots plus a
  *  serialised progress tick, with the optional RunHooks control
  *  points (skip / cancel / leg-done journaling) applied per leg. */
@@ -180,10 +205,16 @@ class SweepSink
         config.policy = policy;
 
         const auto start = std::chrono::steady_clock::now();
-        frontend::FrontendResult result =
-            frontend::simulateDecoded(config, dec);
+        frontend::FrontendResult result = [&] {
+            TELEMETRY_SPAN("simulate",
+                           out.specs[trace_index].name + " / " +
+                               frontend::policyName(policy));
+            return frontend::simulateDecoded(config, dec);
+        }();
         const std::chrono::duration<double> elapsed =
             std::chrono::steady_clock::now() - start;
+        sweepMetrics().legs.add();
+        sweepMetrics().legSeconds.observeSeconds(elapsed.count());
 
         result.traceName = out.specs[trace_index].name;
         // Slot writes: distinct (policy, trace_index) pairs never
@@ -205,6 +236,14 @@ class SweepSink
         // progress tick may already rely on the leg being durable.
         if (result && hooks.onLegDone)
             hooks.onLegDone(trace_index, policy, *result, seconds);
+        if (result && options.slowLegMs > 0.0 &&
+            seconds * 1000.0 > options.slowLegMs) {
+            sweepMetrics().slowLegs.add();
+            warn("slow leg: %s / %s took %.1f ms (threshold %.1f ms)",
+                 out.specs[trace_index].name.c_str(),
+                 frontend::policyName(policy), seconds * 1000.0,
+                 options.slowLegMs);
+        }
         ++done;
         if (progress)
             progress(done, totalUnits,
@@ -233,10 +272,17 @@ buildDecoded(const workload::TraceSpec &spec, const SuiteOptions &options,
 {
     if (hooks.acquireDecoded)
         return hooks.acquireDecoded(spec, options);
+    TELEMETRY_SPAN("decode", spec.name);
+    const auto start = std::chrono::steady_clock::now();
     auto dec = std::make_shared<trace::DecodedTrace>(store.acquireDecoded(
         spec, options.instructionOverride, options.base.icache.blockBytes,
         options.base.instBytes));
     frontend::resolveDirectionStream(*dec, options.base.direction);
+    sweepMetrics().tracesDecoded.add();
+    sweepMetrics().decodeSeconds.observeSeconds(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
     return DecodedPtr(std::move(dec));
 }
 
@@ -350,6 +396,10 @@ runSuite(const SuiteOptions &options, const ProgressFn &progress,
          const RunHooks &hooks)
 {
     SuiteResults out;
+    TELEMETRY_SPAN("sweep",
+                   std::to_string(options.numTraces) + " traces x " +
+                       std::to_string(options.policies.size()) +
+                       " policies");
     out.specs = workload::makeSuite(options.numTraces, options.baseSeed);
 
     SweepSink sink(out, options, progress, hooks);

@@ -56,6 +56,14 @@ struct SuiteOptions
      * skips regeneration of traces it has already seen.
      */
     std::string traceCacheDir;
+
+    /**
+     * warn() about any (trace, policy) leg whose simulation takes
+     * longer than this many milliseconds, so stragglers surface in CI
+     * logs. 0 (the default) disables the check. Timing only — never
+     * affects results.
+     */
+    double slowLegMs = 0.0;
 };
 
 /** All results of a suite run. */

@@ -7,6 +7,8 @@
 #include <map>
 
 #include "stats/table.hh"
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
 
 namespace ghrp::report
 {
@@ -142,6 +144,10 @@ endMarker(const std::string &experiment)
 std::string
 renderBlock(const RunReport &report)
 {
+    TELEMETRY_SPAN("render", report.experiment);
+    static telemetry::Counter &renders =
+        telemetry::metrics().counter("report.renders");
+    renders.add();
     std::string table;
     if (const HeadlineSpec *spec = findHeadline(report.experiment))
         table = headlineTable(report, *spec);

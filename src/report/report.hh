@@ -41,10 +41,12 @@ struct ReportError : std::runtime_error
 
 /** Schema identity; bump major only on incompatible layout changes.
  *  Minor 1 added the optional "extras" subtree (free-form named JSON
- *  blobs, e.g. per-frame efficiency matrices). */
+ *  blobs, e.g. per-frame efficiency matrices). Minor 2 added the
+ *  "extras.telemetry" snapshot (counters / gauges / histograms; see
+ *  report/telemetry_json.hh) stamped by ReportBuilder::finish(). */
 inline constexpr char kSchemaName[] = "ghrp-run-report";
 inline constexpr int kSchemaMajor = 1;
-inline constexpr int kSchemaMinor = 1;
+inline constexpr int kSchemaMinor = 2;
 
 /** Counters of one cache-like structure in one leg. */
 struct CounterSet
@@ -189,7 +191,13 @@ class ReportBuilder
     void setSweep(double wall_seconds, unsigned jobs,
                   std::uint64_t legs_override = 0);
 
-    /** Finalize. The builder is left in a moved-from state. */
+    /**
+     * Finalize. Stamps run ID, schema version, creation time,
+     * build/environment capture, and — when the process-wide metrics
+     * registry is non-empty — a compact telemetry snapshot under
+     * extras.telemetry (unless addExtra already claimed that name).
+     * The builder is left in a moved-from state.
+     */
     RunReport finish();
 
   private:

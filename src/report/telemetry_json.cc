@@ -1,0 +1,78 @@
+#include "report/telemetry_json.hh"
+
+#include "report/report.hh"
+
+namespace ghrp::report
+{
+
+Json
+telemetryToJson(const telemetry::Snapshot &snapshot)
+{
+    Json j = Json::object();
+    if (!snapshot.counters.empty()) {
+        Json counters = Json::object();
+        for (const auto &[name, value] : snapshot.counters)
+            counters.set(name, value);
+        j.set("counters", std::move(counters));
+    }
+    if (!snapshot.gauges.empty()) {
+        Json gauges = Json::object();
+        for (const auto &[name, value] : snapshot.gauges)
+            gauges.set(name, value);
+        j.set("gauges", std::move(gauges));
+    }
+    if (!snapshot.histograms.empty()) {
+        Json histograms = Json::object();
+        for (const auto &[name, hist] : snapshot.histograms) {
+            Json h = Json::object();
+            h.set("count", hist.count);
+            h.set("sumSeconds", hist.sumSeconds);
+            Json buckets = Json::array();
+            for (const telemetry::BucketCount &bc : hist.buckets) {
+                Json b = Json::object();
+                b.set("bucket", bc.bucket);
+                b.set("count", bc.count);
+                buckets.push(std::move(b));
+            }
+            h.set("buckets", std::move(buckets));
+            histograms.set(name, std::move(h));
+        }
+        j.set("histograms", std::move(histograms));
+    }
+    return j;
+}
+
+telemetry::Snapshot
+telemetryFromJson(const Json &json)
+{
+    if (!json.isObject())
+        throw ReportError("telemetry subtree is not an object");
+    telemetry::Snapshot snap;
+    try {
+        if (const Json *counters = json.find("counters"))
+            for (const auto &[name, value] : counters->asObject())
+                snap.counters[name] = value.asUint();
+        if (const Json *gauges = json.find("gauges"))
+            for (const auto &[name, value] : gauges->asObject())
+                snap.gauges[name] = value.asDouble();
+        if (const Json *histograms = json.find("histograms")) {
+            for (const auto &[name, h] : histograms->asObject()) {
+                telemetry::HistogramSnapshot hs;
+                hs.count = h.at("count").asUint();
+                hs.sumSeconds = h.at("sumSeconds").asDouble();
+                for (const Json &b : h.at("buckets").asArray())
+                    hs.buckets.push_back(
+                        {static_cast<std::uint32_t>(
+                             b.at("bucket").asUint()),
+                         b.at("count").asUint()});
+                snap.histograms[name] = std::move(hs);
+            }
+        }
+    } catch (const JsonError &err) {
+        throw ReportError(std::string("malformed telemetry subtree: ") +
+                          err.what());
+    }
+    return snap;
+}
+
+} // namespace ghrp::report

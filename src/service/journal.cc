@@ -9,11 +9,34 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "telemetry/metrics.hh"
+#include "telemetry/span.hh"
+
 namespace ghrp::service
 {
 
 namespace
 {
+
+/** Journal telemetry: record volume and fdatasync latency. */
+struct JournalMetrics
+{
+    telemetry::Counter &records;
+    telemetry::Counter &bytes;
+    telemetry::Histogram &fsyncSeconds;
+};
+
+JournalMetrics &
+journalMetrics()
+{
+    static JournalMetrics m{
+        telemetry::metrics().counter("service.journal_records"),
+        telemetry::metrics().counter("service.journal_bytes"),
+        telemetry::metrics().histogram(
+            "service.journal_fsync_seconds"),
+    };
+    return m;
+}
 
 void
 putU32(std::string &out, std::uint32_t value)
@@ -127,9 +150,18 @@ Journal::append(const report::Json &record)
         written += static_cast<std::size_t>(n);
     }
 
-    if (fsyncPolicy == FsyncPolicy::EveryRecord && ::fdatasync(fd) != 0)
-        throw JournalError("fdatasync of journal '" + path +
-                           "' failed: " + std::strerror(errno));
+    journalMetrics().records.add();
+    journalMetrics().bytes.add(frame.size());
+
+    if (fsyncPolicy == FsyncPolicy::EveryRecord) {
+        const std::uint64_t start = telemetry::nowNanos();
+        const int rc = ::fdatasync(fd);
+        journalMetrics().fsyncSeconds.observeNanos(
+            telemetry::nowNanos() - start);
+        if (rc != 0)
+            throw JournalError("fdatasync of journal '" + path +
+                               "' failed: " + std::strerror(errno));
+    }
 }
 
 void

@@ -21,12 +21,18 @@
  *   status {job}              -> jobStatus {job, state, experiment,
  *                                           completedLegs, totalLegs,
  *                                           error?}
- *   watch {job}               -> progress {job, completed, total, leg}*
+ *   watch {job}               -> progress {job, completed, total, leg,
+ *                                          elapsedSeconds}*
  *                                then a terminal jobStatus
  *   result {job}              -> result {job, report}  (run-report JSON)
  *   cancel {job}              -> jobStatus
+ *   metrics                   -> metrics {metrics}  (telemetry snapshot
+ *                                JSON, see report/telemetry_json.hh)
  *   shutdown                  -> shuttingDown, then the server drains
  *   error {error}             (server -> client, any failed request)
+ *
+ * Minor 1 added the metrics request and the elapsedSeconds member of
+ * progress events; both are invisible to minor-0 peers.
  */
 
 #ifndef GHRP_SERVICE_PROTOCOL_HH
@@ -53,7 +59,7 @@ struct ProtocolError : std::runtime_error
 /** Protocol identity; bump major only on incompatible changes. */
 inline constexpr char kProtocolName[] = "ghrp-service";
 inline constexpr int kProtocolMajor = 1;
-inline constexpr int kProtocolMinor = 0;
+inline constexpr int kProtocolMinor = 1;
 
 /** Upper bound on one frame's payload (a full run report fits with
  *  room to spare; anything larger is a corrupt or hostile peer). */

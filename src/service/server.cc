@@ -17,6 +17,8 @@
 #include <unistd.h>
 
 #include "report/report.hh"
+#include "report/telemetry_json.hh"
+#include "telemetry/metrics.hh"
 #include "util/logging.hh"
 
 namespace ghrp::service
@@ -26,6 +28,35 @@ namespace
 {
 
 namespace fs = std::filesystem;
+
+/** Daemon telemetry: queue pressure and per-job latency. */
+struct ServiceMetrics
+{
+    telemetry::Counter &submitted;
+    telemetry::Counter &rejected;
+    telemetry::Counter &done;
+    telemetry::Counter &failed;
+    telemetry::Counter &cancelled;
+    telemetry::Gauge &queueDepth;
+    telemetry::Histogram &jobWaitSeconds;
+    telemetry::Histogram &jobSeconds;
+};
+
+ServiceMetrics &
+serviceMetrics()
+{
+    static ServiceMetrics m{
+        telemetry::metrics().counter("service.jobs_submitted"),
+        telemetry::metrics().counter("service.jobs_rejected"),
+        telemetry::metrics().counter("service.jobs_done"),
+        telemetry::metrics().counter("service.jobs_failed"),
+        telemetry::metrics().counter("service.jobs_cancelled"),
+        telemetry::metrics().gauge("service.queue_depth"),
+        telemetry::metrics().histogram("service.job_wait_seconds"),
+        telemetry::metrics().histogram("service.job_seconds"),
+    };
+    return m;
+}
 
 /** Pending-write bound per client; a slower/stuck watcher beyond it
  *  is dropped instead of growing the daemon without bound. */
@@ -339,6 +370,12 @@ ServiceServer::dispatch(Connection &conn, const report::Json &message)
             cmdResult(conn, message);
         } else if (type == "cancel") {
             cmdCancel(conn, message);
+        } else if (type == "metrics") {
+            report::Json reply = makeMessage("metrics");
+            reply.set("metrics",
+                      report::telemetryToJson(
+                          telemetry::Registry::global().snapshot()));
+            sendMessage(conn, reply);
         } else if (type == "shutdown") {
             sendMessage(conn, makeMessage("shuttingDown"));
             requestStop();
@@ -372,6 +409,7 @@ ServiceServer::cmdSubmit(Connection &conn, const report::Json &message)
 
     std::lock_guard<std::mutex> lock(jobsMutex);
     if (queue.size() >= cfg.maxQueue) {
+        serviceMetrics().rejected.add();
         report::Json reply = makeMessage("rejected");
         reply.set("reason", "queue full (" +
                                 std::to_string(queue.size()) + "/" +
@@ -410,8 +448,11 @@ ServiceServer::cmdSubmit(Connection &conn, const report::Json &message)
     journal.close();
 
     ++nextJobNumber;
+    job.enqueuedAt = std::chrono::steady_clock::now();
     queue.push_back(job.id);
     jobs.emplace(job.id, std::move(job));
+    serviceMetrics().submitted.add();
+    serviceMetrics().queueDepth.set(static_cast<double>(queue.size()));
     workerCv.notify_all();
 
     report::Json reply = makeMessage("submitted");
@@ -499,6 +540,8 @@ ServiceServer::cmdCancel(Connection &conn, const report::Json &message)
     if (job.state == JobState::Queued) {
         queue.erase(std::remove(queue.begin(), queue.end(), id),
                     queue.end());
+        serviceMetrics().queueDepth.set(
+            static_cast<double>(queue.size()));
         report::Json record = report::Json::object();
         record.set("type", "cancelled");
         Journal journal;
@@ -506,6 +549,7 @@ ServiceServer::cmdCancel(Connection &conn, const report::Json &message)
         journal.append(record);
         journal.close();
         job.state = JobState::Cancelled;
+        serviceMetrics().cancelled.add();
     } else if (job.state == JobState::Running) {
         job.cancelRequested = true;  // sealed by the worker
     }
@@ -588,6 +632,7 @@ ServiceServer::drainEvents()
                 msg.set("completed", event.completed);
                 msg.set("total", event.total);
                 msg.set("leg", event.leg);
+                msg.set("elapsedSeconds", event.elapsedSeconds);
                 sendMessage(conn, msg);
             } else {
                 std::lock_guard<std::mutex> lock(jobsMutex);
@@ -634,7 +679,14 @@ ServiceServer::workerMain()
                     best = it;
             job_id = *best;
             queue.erase(best);
-            jobs.at(job_id).state = JobState::Running;
+            Job &job = jobs.at(job_id);
+            job.state = JobState::Running;
+            serviceMetrics().queueDepth.set(
+                static_cast<double>(queue.size()));
+            serviceMetrics().jobWaitSeconds.observeSeconds(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - job.enqueuedAt)
+                    .count());
         }
         postEvent({Event::Kind::StateChange, job_id, 0, 0, {}});
         executeJob(job_id);
@@ -662,15 +714,25 @@ ServiceServer::executeJob(const std::string &job_id)
         recovered = job.recoveredLegs;
     }
 
+    const Clock::time_point run_start = Clock::now();
     const Clock::time_point deadline =
         timeout_seconds > 0
-            ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                                 std::chrono::duration<double>(
-                                     timeout_seconds))
+            ? run_start + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(
+                                  timeout_seconds))
             : Clock::time_point::max();
 
     const auto seal = [&](const char *type, const std::string &error,
                           JobState state) {
+        serviceMetrics().jobSeconds.observeSeconds(
+            std::chrono::duration<double>(Clock::now() - run_start)
+                .count());
+        if (state == JobState::Done)
+            serviceMetrics().done.add();
+        else if (state == JobState::Failed)
+            serviceMetrics().failed.add();
+        else if (state == JobState::Cancelled)
+            serviceMetrics().cancelled.add();
         try {
             report::Json record = report::Json::object();
             record.set("type", type);
@@ -732,14 +794,19 @@ ServiceServer::executeJob(const std::string &job_id)
             };
 
         const core::ProgressFn progress =
-            [this, &job_id](std::size_t done, std::size_t total,
-                            const std::string &leg) {
+            [this, &job_id, run_start](std::size_t done,
+                                       std::size_t total,
+                                       const std::string &leg) {
                 {
                     std::lock_guard<std::mutex> lock(jobsMutex);
                     jobs.at(job_id).completedLegs = done;
                 }
+                const double elapsed =
+                    std::chrono::duration<double>(Clock::now() -
+                                                  run_start)
+                        .count();
                 postEvent({Event::Kind::Progress, job_id, done, total,
-                           leg});
+                           leg, elapsed});
             };
 
         core::SuiteResults results =
@@ -946,7 +1013,10 @@ ServiceServer::recoverOne(const std::string &job_id)
     std::lock_guard<std::mutex> lock(jobsMutex);
     if (resume) {
         job.state = JobState::Queued;
+        job.enqueuedAt = std::chrono::steady_clock::now();
         queue.push_back(job.id);
+        serviceMetrics().queueDepth.set(
+            static_cast<double>(queue.size()));
     }
     jobs.emplace(job_id, std::move(job));
     return resume;

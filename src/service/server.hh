@@ -33,6 +33,7 @@
 #define GHRP_SERVICE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -151,6 +152,10 @@ class ServiceServer
         std::size_t completedLegs = 0;
         std::size_t totalLegs = 0;
 
+        /** When the job entered the queue (submit or recovery); the
+         *  enqueue-to-start wait histogram is measured from here. */
+        std::chrono::steady_clock::time_point enqueuedAt{};
+
         /** Legs recovered from the journal on restart, keyed by
          *  (trace index, policy); injected into the runner's skipped
          *  slots before the report is built. */
@@ -183,6 +188,8 @@ class ServiceServer
         std::size_t completed = 0;
         std::size_t total = 0;
         std::string leg;  ///< "trace / policy" label (Progress)
+        /** Wall seconds since the job started running (Progress). */
+        double elapsedSeconds = 0.0;
     };
 
     // --- network thread ---------------------------------------------

@@ -1,0 +1,78 @@
+#include "telemetry/exposition.hh"
+
+#include <cctype>
+#include <cstdio>
+
+namespace ghrp::telemetry
+{
+
+namespace
+{
+
+std::string
+formatDouble(double value)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+void
+appendLine(std::string &out, const std::string &name,
+           const std::string &value)
+{
+    out += name;
+    out += " ";
+    out += value;
+    out += "\n";
+}
+
+} // anonymous namespace
+
+std::string
+prometheusName(const std::string &name)
+{
+    std::string out = "ghrp_";
+    for (const char c : name) {
+        const bool legal = std::isalnum(static_cast<unsigned char>(c))
+            || c == '_' || c == ':';
+        out += legal ? c : '_';
+    }
+    return out;
+}
+
+std::string
+renderPrometheus(const Snapshot &snapshot)
+{
+    std::string out;
+    for (const auto &[name, value] : snapshot.counters) {
+        const std::string metric = prometheusName(name);
+        out += "# TYPE " + metric + " counter\n";
+        appendLine(out, metric, std::to_string(value));
+    }
+    for (const auto &[name, value] : snapshot.gauges) {
+        const std::string metric = prometheusName(name);
+        out += "# TYPE " + metric + " gauge\n";
+        appendLine(out, metric, formatDouble(value));
+    }
+    for (const auto &[name, hist] : snapshot.histograms) {
+        const std::string metric = prometheusName(name);
+        out += "# TYPE " + metric + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (const BucketCount &bc : hist.buckets) {
+            cumulative += bc.count;
+            out += metric + "_bucket{le=\""
+                + formatDouble(
+                       Histogram::bucketUpperSeconds(bc.bucket))
+                + "\"} " + std::to_string(cumulative) + "\n";
+        }
+        out += metric + "_bucket{le=\"+Inf\"} "
+            + std::to_string(hist.count) + "\n";
+        appendLine(out, metric + "_sum", formatDouble(hist.sumSeconds));
+        appendLine(out, metric + "_count",
+                   std::to_string(hist.count));
+    }
+    return out;
+}
+
+} // namespace ghrp::telemetry

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Render a metrics Snapshot as Prometheus text exposition format
+ * (version 0.0.4). Counters become `ghrp_<name>` counters, gauges
+ * become gauges, histograms become the usual `_bucket`/`_sum`/
+ * `_count` triplet with cumulative `le` bounds taken from the
+ * log-scale bucket boundaries.
+ *
+ * Output is deterministic for a given snapshot: names come from the
+ * snapshot's ordered maps and numbers are printed with fixed printf
+ * formats.
+ */
+
+#ifndef GHRP_TELEMETRY_EXPOSITION_HH
+#define GHRP_TELEMETRY_EXPOSITION_HH
+
+#include <string>
+
+#include "telemetry/metrics.hh"
+
+namespace ghrp::telemetry
+{
+
+/** Map a metric name to a Prometheus-legal name ('.' becomes '_'). */
+std::string prometheusName(const std::string &name);
+
+/** Render @p snapshot as Prometheus text exposition format. */
+std::string renderPrometheus(const Snapshot &snapshot);
+
+} // namespace ghrp::telemetry
+
+#endif // GHRP_TELEMETRY_EXPOSITION_HH

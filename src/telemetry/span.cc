@@ -1,0 +1,268 @@
+#include "telemetry/span.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace ghrp::telemetry
+{
+
+namespace detail
+{
+std::atomic<bool> tracingFlag{false};
+} // namespace detail
+
+namespace
+{
+
+/** Span storage for one thread; outlives the thread via shared_ptr. */
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    std::uint32_t tid = 0;
+    std::string name;
+    std::vector<SpanEvent> events;
+};
+
+struct SpanLog
+{
+    std::mutex mutex;
+    std::uint32_t nextTid = 1;
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+};
+
+SpanLog &
+spanLog()
+{
+    static SpanLog log;
+    return log;
+}
+
+ThreadBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+        auto buf = std::make_shared<ThreadBuffer>();
+        SpanLog &log = spanLog();
+        std::lock_guard lock(log.mutex);
+        buf->tid = log.nextTid++;
+        log.buffers.push_back(buf);
+        return buf;
+    }();
+    return *buffer;
+}
+
+void
+appendEscaped(std::string &out, const std::string &text)
+{
+    for (const char c : text) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char hex[8];
+                std::snprintf(hex, sizeof(hex), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += hex;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** Nanosecond count rendered as decimal microseconds ("12.345"). */
+void
+appendMicros(std::string &out, std::uint64_t nanos)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                  static_cast<unsigned long long>(nanos / 1000),
+                  static_cast<unsigned long long>(nanos % 1000));
+    out += buf;
+}
+
+} // anonymous namespace
+
+void
+setTracingEnabled(bool enabled)
+{
+    detail::tracingFlag.store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t
+nowNanos()
+{
+    using Clock = std::chrono::steady_clock;
+    static const Clock::time_point epoch = Clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            Clock::now() - epoch)
+            .count());
+}
+
+void
+setThreadName(const std::string &name)
+{
+    ThreadBuffer &buf = threadBuffer();
+    std::lock_guard lock(buf.mutex);
+    buf.name = name;
+}
+
+void
+ScopedSpan::record()
+{
+    const std::uint64_t endNs = nowNanos();
+    ThreadBuffer &buf = threadBuffer();
+    SpanEvent event;
+    event.name = name;
+    event.detail = std::move(detail);
+    event.startNs = startNs;
+    event.durationNs = endNs - startNs;
+    std::lock_guard lock(buf.mutex);
+    event.tid = buf.tid;
+    buf.events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent>
+collectSpans()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        SpanLog &log = spanLog();
+        std::lock_guard lock(log.mutex);
+        buffers = log.buffers;
+    }
+    std::vector<SpanEvent> events;
+    for (const auto &buf : buffers) {
+        std::lock_guard lock(buf->mutex);
+        events.insert(events.end(), buf->events.begin(),
+                      buf->events.end());
+    }
+    std::sort(events.begin(), events.end(),
+              [](const SpanEvent &a, const SpanEvent &b) {
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  if (a.startNs != b.startNs)
+                      return a.startNs < b.startNs;
+                  return a.name < b.name;
+              });
+    return events;
+}
+
+std::vector<ThreadInfo>
+collectThreads()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        SpanLog &log = spanLog();
+        std::lock_guard lock(log.mutex);
+        buffers = log.buffers;
+    }
+    std::vector<ThreadInfo> threads;
+    for (const auto &buf : buffers) {
+        std::lock_guard lock(buf->mutex);
+        threads.push_back({buf->tid, buf->name});
+    }
+    std::sort(threads.begin(), threads.end(),
+              [](const ThreadInfo &a, const ThreadInfo &b) {
+                  return a.tid < b.tid;
+              });
+    return threads;
+}
+
+void
+clearSpans()
+{
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+    {
+        SpanLog &log = spanLog();
+        std::lock_guard lock(log.mutex);
+        buffers = log.buffers;
+    }
+    for (const auto &buf : buffers) {
+        std::lock_guard lock(buf->mutex);
+        buf->events.clear();
+    }
+}
+
+std::string
+chromeTraceJson(const std::vector<SpanEvent> &events,
+                const std::vector<ThreadInfo> &threads)
+{
+    std::string out;
+    out.reserve(events.size() * 96 + 256);
+    out += "{\"traceEvents\":[";
+    bool first = true;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+           "\"tid\":0,\"args\":{\"name\":\"ghrp\"}}";
+    first = false;
+    for (const ThreadInfo &thread : threads) {
+        if (thread.name.empty())
+            continue;
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":";
+        out += std::to_string(thread.tid);
+        out += ",\"args\":{\"name\":\"";
+        appendEscaped(out, thread.name);
+        out += "\"}}";
+    }
+    for (const SpanEvent &event : events) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "{\"name\":\"";
+        appendEscaped(out, event.name);
+        out += "\",\"cat\":\"ghrp\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+        out += std::to_string(event.tid);
+        out += ",\"ts\":";
+        appendMicros(out, event.startNs);
+        out += ",\"dur\":";
+        appendMicros(out, event.durationNs);
+        if (!event.detail.empty()) {
+            out += ",\"args\":{\"detail\":\"";
+            appendEscaped(out, event.detail);
+            out += "\"}";
+        }
+        out += "}";
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    const std::string json =
+        chromeTraceJson(collectSpans(), collectThreads());
+    std::FILE *file = std::fopen(path.c_str(), "w");
+    if (!file)
+        return false;
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    const bool ok = written == json.size() && std::fclose(file) == 0;
+    if (written != json.size())
+        std::fclose(file);
+    return ok;
+}
+
+} // namespace ghrp::telemetry

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Scoped trace spans recorded per thread and serialized as Chrome
+ * trace_event JSON (loadable in perfetto or chrome://tracing).
+ *
+ * Usage:
+ *
+ *   TELEMETRY_SPAN("decode");               // name only
+ *   TELEMETRY_SPAN("simulate", legLabel);   // name + detail string
+ *
+ * expands to a ScopedSpan whose constructor checks a single relaxed
+ * atomic flag. When tracing is disabled (the default) the span is
+ * inert: no clock read, no allocation, no lock. When enabled, the
+ * destructor appends one complete event to a per-thread buffer; the
+ * only lock taken is that buffer's own mutex, contended only by a
+ * concurrent writeChromeTrace().
+ *
+ * Thread buffers are owned by shared_ptr from a global list, so spans
+ * recorded by pool workers survive the worker threads themselves and
+ * are still present when the main thread serializes the trace at
+ * process exit. setThreadName() labels the row perfetto shows for the
+ * calling thread.
+ */
+
+#ifndef GHRP_TELEMETRY_SPAN_HH
+#define GHRP_TELEMETRY_SPAN_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ghrp::telemetry
+{
+
+namespace detail
+{
+extern std::atomic<bool> tracingFlag;
+} // namespace detail
+
+/** Whether TELEMETRY_SPAN records anything; one relaxed load. */
+inline bool
+tracingEnabled()
+{
+    return detail::tracingFlag.load(std::memory_order_relaxed);
+}
+
+/** Turn span recording on or off process-wide. */
+void setTracingEnabled(bool enabled);
+
+/** Nanoseconds since an arbitrary process-wide steady epoch. */
+std::uint64_t nowNanos();
+
+/** Name the calling thread's row in the serialized trace. */
+void setThreadName(const std::string &name);
+
+/** One completed span, as collected for serialization. */
+struct SpanEvent
+{
+    std::string name;    ///< phase name ("decode", "simulate", ...)
+    std::string detail;  ///< optional argument shown in the UI
+    std::uint64_t startNs = 0;
+    std::uint64_t durationNs = 0;
+    std::uint32_t tid = 0;  ///< 1-based registration order
+};
+
+/** A thread that recorded spans (or was explicitly named). */
+struct ThreadInfo
+{
+    std::uint32_t tid = 0;
+    std::string name;
+};
+
+/** RAII span; prefer the TELEMETRY_SPAN macro. */
+class ScopedSpan
+{
+  public:
+    explicit ScopedSpan(const char *spanName)
+        : active(tracingEnabled()), name(spanName)
+    {
+        if (active)
+            startNs = nowNanos();
+    }
+
+    ScopedSpan(const char *spanName, std::string spanDetail)
+        : active(tracingEnabled()), name(spanName),
+          detail(std::move(spanDetail))
+    {
+        if (active)
+            startNs = nowNanos();
+    }
+
+    ~ScopedSpan()
+    {
+        if (active)
+            record();
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    void record();
+
+    bool active;
+    const char *name;
+    std::string detail;
+    std::uint64_t startNs = 0;
+};
+
+#define GHRP_SPAN_CONCAT2(a, b) a##b
+#define GHRP_SPAN_CONCAT(a, b) GHRP_SPAN_CONCAT2(a, b)
+
+/** Record a span covering the rest of the enclosing scope. */
+#define TELEMETRY_SPAN(...)                                                \
+    ::ghrp::telemetry::ScopedSpan GHRP_SPAN_CONCAT(                        \
+        ghrpSpan_, __LINE__)(__VA_ARGS__)
+
+/** Copy out every recorded span, sorted by (tid, start, name). */
+std::vector<SpanEvent> collectSpans();
+
+/** Threads that registered a buffer, in tid order. */
+std::vector<ThreadInfo> collectThreads();
+
+/** Drop all recorded spans (thread registrations persist). */
+void clearSpans();
+
+/**
+ * Render Chrome trace_event JSON ("X" duration events plus
+ * thread_name/process_name "M" metadata). Deterministic for a given
+ * input; timestamps are microseconds with nanosecond precision.
+ */
+std::string chromeTraceJson(const std::vector<SpanEvent> &events,
+                            const std::vector<ThreadInfo> &threads);
+
+/**
+ * Serialize all spans recorded so far to @p path. Returns false (and
+ * leaves a partial file at most) on I/O failure.
+ */
+bool writeChromeTrace(const std::string &path);
+
+} // namespace ghrp::telemetry
+
+#endif // GHRP_TELEMETRY_SPAN_HH

@@ -33,6 +33,35 @@ logLevel()
     return globalLevel;
 }
 
+bool
+informEnabled()
+{
+    return globalLevel >= LogLevel::Normal;
+}
+
+bool
+warnEnabled()
+{
+    return globalLevel >= LogLevel::Warn;
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "quiet") {
+        out = LogLevel::Quiet;
+    } else if (name == "warn") {
+        out = LogLevel::Warn;
+    } else if (name == "info" || name == "normal") {
+        out = LogLevel::Normal;
+    } else if (name == "debug" || name == "verbose") {
+        out = LogLevel::Verbose;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 void
 panic(const char *fmt, ...)
 {
@@ -56,6 +85,8 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
+    if (globalLevel < LogLevel::Warn)
+        return;
     va_list args;
     va_start(args, fmt);
     vreport("warn", fmt, args);
@@ -65,7 +96,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (globalLevel == LogLevel::Quiet)
+    if (globalLevel < LogLevel::Normal)
         return;
     va_list args;
     va_start(args, fmt);

@@ -14,19 +14,33 @@
 namespace ghrp
 {
 
-/** Verbosity levels for status messages. */
+/** Verbosity levels for status messages, least to most talkative. */
 enum class LogLevel
 {
-    Quiet,   ///< suppress inform(); warn() still printed
+    Quiet,   ///< suppress warn() and inform() (errors still printed)
+    Warn,    ///< warn() printed, inform() suppressed (old --quiet)
     Normal,  ///< default: inform() and warn() printed
     Verbose  ///< additionally print debug() messages
 };
 
-/** Set the process-wide verbosity for inform()/debug(). */
+/** Set the process-wide verbosity for warn()/inform()/debug(). */
 void setLogLevel(LogLevel level);
 
 /** Current process-wide verbosity. */
 LogLevel logLevel();
+
+/** Whether inform() currently prints; use to gate progress output. */
+bool informEnabled();
+
+/** Whether warn() currently prints. */
+bool warnEnabled();
+
+/**
+ * Parse a level name as accepted by --log-level / GHRP_LOG_LEVEL:
+ * "quiet", "warn", "info" (alias "normal"), "debug" (alias
+ * "verbose"). Returns false on anything else.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
 
 /**
  * Report an internal invariant violation (a bug in this library) and

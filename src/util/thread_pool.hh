@@ -27,6 +27,7 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -79,16 +80,24 @@ class ThreadPool
     static unsigned hardwareJobs();
 
   private:
+    /** A queued job plus its enqueue timestamp (for the pool.task_
+     *  wait_seconds telemetry histogram). */
+    struct Item
+    {
+        std::function<void()> fn;
+        std::uint64_t enqueueNs = 0;
+    };
+
     struct Worker
     {
         std::mutex mutex;
-        std::deque<std::function<void()>> jobs;
+        std::deque<Item> jobs;
     };
 
     void enqueue(std::function<void()> job);
     void workerLoop(std::stop_token stop, unsigned index);
-    bool tryPopOwn(unsigned index, std::function<void()> &job);
-    bool trySteal(unsigned thief, std::function<void()> &job);
+    bool tryPopOwn(unsigned index, Item &job);
+    bool trySteal(unsigned thief, Item &job);
 
     std::vector<std::unique_ptr<Worker>> workers;
     std::atomic<std::size_t> queued{0};   ///< jobs enqueued, not yet popped

@@ -10,6 +10,7 @@
 #include <unistd.h>
 #endif
 
+#include "telemetry/metrics.hh"
 #include "trace/trace_io.hh"
 #include "util/logging.hh"
 #include "util/random.hh"
@@ -19,6 +20,38 @@ namespace ghrp::workload
 
 namespace
 {
+
+/** Process-wide trace-store telemetry (mirrors the per-store atomics,
+ *  which remain the source of truth for SweepStats). */
+struct StoreMetrics
+{
+    telemetry::Counter &hits;
+    telemetry::Counter &misses;
+    telemetry::Counter &stores;
+    telemetry::Counter &readBytes;
+    telemetry::Counter &writtenBytes;
+};
+
+StoreMetrics &
+storeMetrics()
+{
+    static StoreMetrics m{
+        telemetry::metrics().counter("trace_store.hits"),
+        telemetry::metrics().counter("trace_store.misses"),
+        telemetry::metrics().counter("trace_store.stores"),
+        telemetry::metrics().counter("trace_store.read_bytes"),
+        telemetry::metrics().counter("trace_store.written_bytes"),
+    };
+    return m;
+}
+
+std::uint64_t
+fileBytes(const std::string &path)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    return ec ? 0 : static_cast<std::uint64_t>(size);
+}
 
 /** splitMix64-chained hash accumulator. */
 class KeyHasher
@@ -162,6 +195,8 @@ TraceStore::persist(const trace::Trace &tr, const std::string &path)
         return;
     }
     storeCount.fetch_add(1, std::memory_order_relaxed);
+    storeMetrics().stores.add();
+    storeMetrics().writtenBytes.add(fileBytes(path));
 }
 
 trace::Trace
@@ -174,6 +209,8 @@ TraceStore::acquire(const TraceSpec &spec,
     const std::string path = pathFor(spec, instruction_override);
     if (auto mapped = trace::MappedTrace::tryOpen(path)) {
         hitCount.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().hits.add();
+        storeMetrics().readBytes.add(fileBytes(path));
         trace::Trace tr = mapped->materialize();
         tr.name = spec.name;
         tr.category = categoryName(spec.category);
@@ -181,6 +218,7 @@ TraceStore::acquire(const TraceSpec &spec,
     }
 
     missCount.fetch_add(1, std::memory_order_relaxed);
+    storeMetrics().misses.add();
     trace::Trace tr = buildTrace(spec, instruction_override);
     persist(tr, path);
     return tr;
@@ -196,6 +234,8 @@ TraceStore::acquireDecoded(const TraceSpec &spec,
         const std::string path = pathFor(spec, instruction_override);
         if (auto mapped = trace::MappedTrace::tryOpen(path)) {
             hitCount.fetch_add(1, std::memory_order_relaxed);
+            storeMetrics().hits.add();
+            storeMetrics().readBytes.add(fileBytes(path));
             trace::DecodedTrace dec =
                 trace::decodeTrace(*mapped, block_bytes, inst_bytes);
             dec.name = spec.name;
@@ -203,6 +243,7 @@ TraceStore::acquireDecoded(const TraceSpec &spec,
             return dec;
         }
         missCount.fetch_add(1, std::memory_order_relaxed);
+        storeMetrics().misses.add();
         const trace::Trace tr = buildTrace(spec, instruction_override);
         persist(tr, path);
         return trace::decodeTrace(tr, block_bytes, inst_bytes);

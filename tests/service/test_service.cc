@@ -163,6 +163,10 @@ normalizedDump(report::RunReport r)
     r.environment.clear();
     r.options = report::Json::object();
     r.sweep = report::SweepStats{};
+    // The embedded telemetry snapshot captures process-wide run timing
+    // (histograms of wall times), which legitimately differs between a
+    // served and an in-process run of the same sweep.
+    r.extras = report::Json::object();
     for (report::Leg &leg : r.legs)
         leg.seconds = 0.0;
     return r.toJson().dump(2);

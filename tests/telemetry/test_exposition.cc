@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Exposition tests: the Prometheus text rendering is locked down with
+ * a golden test (cumulative bucket semantics included), and the
+ * extras.telemetry subtree survives a full round trip through the
+ * schema-1.2 run-report JSON losslessly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/report.hh"
+#include "report/telemetry_json.hh"
+#include "telemetry/exposition.hh"
+#include "telemetry/metrics.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::telemetry;
+
+Snapshot
+exampleSnapshot()
+{
+    Registry registry;
+    registry.counter("pool.tasks").add(42);
+    registry.counter("trace_store.hits").add(7);
+    registry.gauge("service.queue_depth").set(3);
+    Histogram &h = registry.histogram("sweep.leg_seconds");
+    h.observeNanos(100);     // bucket 7 (< 128ns)
+    h.observeNanos(100);
+    h.observeNanos(100000);  // bucket 17 (< ~131us)
+    return registry.snapshot();
+}
+
+TEST(TelemetryExposition, PrometheusNameSanitization)
+{
+    EXPECT_EQ(prometheusName("pool.tasks"), "ghrp_pool_tasks");
+    EXPECT_EQ(prometheusName("a-b c"), "ghrp_a_b_c");
+    EXPECT_EQ(prometheusName("ok_name:x9"), "ghrp_ok_name:x9");
+}
+
+TEST(TelemetryExposition, PrometheusGolden)
+{
+    const std::string expected =
+        "# TYPE ghrp_pool_tasks counter\n"
+        "ghrp_pool_tasks 42\n"
+        "# TYPE ghrp_trace_store_hits counter\n"
+        "ghrp_trace_store_hits 7\n"
+        "# TYPE ghrp_service_queue_depth gauge\n"
+        "ghrp_service_queue_depth 3\n"
+        "# TYPE ghrp_sweep_leg_seconds histogram\n"
+        "ghrp_sweep_leg_seconds_bucket{le=\"1.28e-07\"} 2\n"
+        "ghrp_sweep_leg_seconds_bucket{le=\"0.000131072\"} 3\n"
+        "ghrp_sweep_leg_seconds_bucket{le=\"+Inf\"} 3\n"
+        "ghrp_sweep_leg_seconds_sum 0.0001002\n"
+        "ghrp_sweep_leg_seconds_count 3\n";
+    EXPECT_EQ(renderPrometheus(exampleSnapshot()), expected);
+}
+
+TEST(TelemetryExposition, EmptySnapshotRendersNothing)
+{
+    EXPECT_EQ(renderPrometheus(Snapshot{}), "");
+}
+
+TEST(TelemetryExposition, JsonRoundTripIsLossless)
+{
+    const Snapshot before = exampleSnapshot();
+    const report::Json json = report::telemetryToJson(before);
+    const Snapshot after = report::telemetryFromJson(json);
+    EXPECT_EQ(before, after);
+    // And the JSON text itself is a fixed point.
+    EXPECT_EQ(report::telemetryToJson(after).dump(2), json.dump(2));
+}
+
+TEST(TelemetryExposition, FromJsonToleratesMissingSections)
+{
+    const Snapshot empty =
+        report::telemetryFromJson(report::Json::object());
+    EXPECT_TRUE(empty.empty());
+}
+
+TEST(TelemetryExposition, FromJsonRejectsMalformedInput)
+{
+    report::Json bad = report::Json::object();
+    bad.set("counters", "not an object");
+    EXPECT_THROW(report::telemetryFromJson(bad), report::ReportError);
+}
+
+TEST(TelemetryExposition, SnapshotRoundTripsThroughRunReport)
+{
+    // The extras.telemetry subtree must survive the full report path:
+    // embed -> serialize (schema 1.2) -> parse -> extract.
+    const Snapshot before = exampleSnapshot();
+
+    report::RunReport report;
+    report.experiment = "telemetry_roundtrip";
+    report.extras.set("telemetry", report::telemetryToJson(before));
+    ASSERT_EQ(report.versionMinor, 2);
+
+    const std::string text = report.toJson().dump(2);
+    const report::RunReport parsed =
+        report::RunReport::fromJson(report::Json::parse(text));
+
+    const report::Json *embedded = parsed.extras.find("telemetry");
+    ASSERT_NE(embedded, nullptr);
+    EXPECT_EQ(report::telemetryFromJson(*embedded), before);
+}
+
+} // anonymous namespace

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Trace-span tests: the disabled fast path records nothing, enabled
+ * spans land in per-thread buffers with stable ordering, and the
+ * Chrome trace_event serialization is locked down byte-for-byte by a
+ * golden test over fixed inputs (so perfetto compatibility can't
+ * silently drift).
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/span.hh"
+
+namespace
+{
+
+using namespace ghrp::telemetry;
+
+/** Restore the global tracing flag and drop recorded spans on exit. */
+struct SpanFixture : ::testing::Test
+{
+    void SetUp() override
+    {
+        clearSpans();
+        setTracingEnabled(false);
+    }
+
+    void TearDown() override
+    {
+        setTracingEnabled(false);
+        clearSpans();
+    }
+};
+
+using TelemetrySpan = SpanFixture;
+
+TEST_F(TelemetrySpan, DisabledSpansRecordNothing)
+{
+    {
+        TELEMETRY_SPAN("decode");
+        TELEMETRY_SPAN("simulate", "t00 / LRU");
+    }
+    EXPECT_TRUE(collectSpans().empty());
+}
+
+TEST_F(TelemetrySpan, EnabledSpansRecordNameDetailAndDuration)
+{
+    setTracingEnabled(true);
+    {
+        TELEMETRY_SPAN("decode", "t00");
+    }
+    const std::vector<SpanEvent> events = collectSpans();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "decode");
+    EXPECT_EQ(events[0].detail, "t00");
+    EXPECT_GT(events[0].tid, 0u);
+
+    // The flag is latched at construction: a span opened while
+    // tracing is on records even if tracing is turned off mid-scope.
+    {
+        TELEMETRY_SPAN("late");
+        setTracingEnabled(false);
+    }
+    EXPECT_EQ(collectSpans().size(), 2u);
+}
+
+TEST_F(TelemetrySpan, SpansFromOtherThreadsSurviveThreadExit)
+{
+    setTracingEnabled(true);
+    std::thread([] {
+        setThreadName("helper");
+        TELEMETRY_SPAN("work");
+    }).join();
+
+    const std::vector<SpanEvent> events = collectSpans();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].name, "work");
+
+    bool named = false;
+    for (const ThreadInfo &thread : collectThreads())
+        named = named ||
+            (thread.name == "helper" && thread.tid == events[0].tid);
+    EXPECT_TRUE(named);
+}
+
+TEST_F(TelemetrySpan, ChromeTraceJsonGolden)
+{
+    // Fixed inputs: two threads (one named), three events covering
+    // detail args, escaping and sub-microsecond timestamps.
+    const std::vector<ThreadInfo> threads = {
+        {1, "main"},
+        {2, ""},  // never named: no thread_name metadata record
+    };
+    const std::vector<SpanEvent> events = {
+        {"sweep", "24 traces x 5 policies", 1500, 2500000, 1},
+        {"decode", "", 2000, 999, 1},
+        {"simulate", "t\"00\" / LRU\n", 12345678, 1000, 2},
+    };
+
+    const std::string expected =
+        "{\"traceEvents\":["
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"ghrp\"}},"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"main\"}},"
+        "{\"name\":\"sweep\",\"cat\":\"ghrp\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":1.500,\"dur\":2500.000,"
+        "\"args\":{\"detail\":\"24 traces x 5 policies\"}},"
+        "{\"name\":\"decode\",\"cat\":\"ghrp\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":1,\"ts\":2.000,\"dur\":0.999},"
+        "{\"name\":\"simulate\",\"cat\":\"ghrp\",\"ph\":\"X\","
+        "\"pid\":1,\"tid\":2,\"ts\":12345.678,\"dur\":1.000,"
+        "\"args\":{\"detail\":\"t\\\"00\\\" / LRU\\n\"}}"
+        "],\"displayTimeUnit\":\"ms\"}\n";
+
+    EXPECT_EQ(chromeTraceJson(events, threads), expected);
+}
+
+TEST_F(TelemetrySpan, WriteChromeTraceProducesLoadableFile)
+{
+    setTracingEnabled(true);
+    {
+        TELEMETRY_SPAN("decode", "golden");
+    }
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         "ghrp_test_span_trace.json")
+            .string();
+    ASSERT_TRUE(writeChromeTrace(path));
+
+    std::ifstream file(path);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    const std::string json = buffer.str();
+    std::filesystem::remove(path);
+
+    EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"decode\""), std::string::npos);
+    EXPECT_NE(json.find("\"detail\":\"golden\""), std::string::npos);
+
+    // Unwritable destination reports failure instead of throwing.
+    EXPECT_FALSE(writeChromeTrace("/nonexistent-dir/trace.json"));
+}
+
+} // anonymous namespace

@@ -19,6 +19,46 @@ TEST(Logging, LevelRoundTrip)
     setLogLevel(original);
 }
 
+TEST(Logging, EnabledPredicatesFollowTheLevel)
+{
+    const LogLevel original = logLevel();
+
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_FALSE(warnEnabled());
+    EXPECT_FALSE(informEnabled());
+
+    setLogLevel(LogLevel::Warn);
+    EXPECT_TRUE(warnEnabled());
+    EXPECT_FALSE(informEnabled());
+
+    setLogLevel(LogLevel::Normal);
+    EXPECT_TRUE(warnEnabled());
+    EXPECT_TRUE(informEnabled());
+
+    setLogLevel(original);
+}
+
+TEST(Logging, ParseLogLevelNamesAndAliases)
+{
+    LogLevel level = LogLevel::Normal;
+    EXPECT_TRUE(parseLogLevel("quiet", level));
+    EXPECT_EQ(level, LogLevel::Quiet);
+    EXPECT_TRUE(parseLogLevel("warn", level));
+    EXPECT_EQ(level, LogLevel::Warn);
+    EXPECT_TRUE(parseLogLevel("info", level));
+    EXPECT_EQ(level, LogLevel::Normal);
+    EXPECT_TRUE(parseLogLevel("normal", level));
+    EXPECT_EQ(level, LogLevel::Normal);
+    EXPECT_TRUE(parseLogLevel("debug", level));
+    EXPECT_EQ(level, LogLevel::Verbose);
+    EXPECT_TRUE(parseLogLevel("verbose", level));
+    EXPECT_EQ(level, LogLevel::Verbose);
+
+    level = LogLevel::Warn;
+    EXPECT_FALSE(parseLogLevel("loud", level));
+    EXPECT_EQ(level, LogLevel::Warn);  // untouched on failure
+}
+
 TEST(LoggingDeathTest, PanicAborts)
 {
     EXPECT_DEATH(panic("boom %d", 42), "panic: boom 42");

@@ -15,19 +15,27 @@
  *   ghrp-client result --socket PATH --job ID [--out FILE]
  *   ghrp-client cancel --socket PATH --job ID
  *   ghrp-client ping   --socket PATH
+ *   ghrp-client metrics --socket PATH [--prometheus] [--out FILE]
+ *       Fetch the daemon's live telemetry snapshot: queue depth, job
+ *       wait/run histograms, trace-store hit counters, journal fsync
+ *       latency. Default output is the snapshot JSON; --prometheus
+ *       renders Prometheus text exposition instead.
  *   ghrp-client shutdown --socket PATH
  *
  * Exit codes: 0 success, 1 job failed/cancelled or rejected,
  * 2 usage or connection error.
  */
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
 
 #include "core/cli.hh"
 #include "report/report.hh"
+#include "report/telemetry_json.hh"
 #include "service/client.hh"
+#include "telemetry/exposition.hh"
 #include "util/logging.hh"
 
 namespace
@@ -45,6 +53,8 @@ usage()
         "           [--priority P] [--timeout SEC] [--wait] [--out FILE]\n"
         "       ghrp-client status|watch|result|cancel --socket PATH"
         " --job ID [--out FILE]\n"
+        "       ghrp-client metrics --socket PATH [--prometheus]"
+        " [--out FILE]\n"
         "       ghrp-client ping|shutdown --socket PATH\n");
     return 2;
 }
@@ -88,6 +98,11 @@ int
 followJob(service::ServiceClient &client, const std::string &job,
           bool fetch, const core::CliOptions &cli)
 {
+    // Fallback clock for daemons that predate the elapsedSeconds
+    // progress member (protocol minor 1): wall time since the watch
+    // began rather than since the job started running.
+    const auto watch_start = std::chrono::steady_clock::now();
+
     while (true) {
         report::Json request = service::makeMessage("watch");
         request.set("job", job);
@@ -99,12 +114,24 @@ followJob(service::ServiceClient &client, const std::string &job,
                 break;  // connection lost: reconnect below
             const std::string type = service::checkMessage(*message);
             if (type == "progress") {
+                const auto completed = message->at("completed").asUint();
+                const auto total = message->at("total").asUint();
+                double elapsed = std::chrono::duration<double>(
+                                     std::chrono::steady_clock::now() -
+                                     watch_start)
+                                     .count();
+                if (const report::Json *e =
+                        message->find("elapsedSeconds"))
+                    elapsed = e->asDouble();
+                const double rate =
+                    elapsed > 0.0
+                        ? static_cast<double>(completed) / elapsed
+                        : 0.0;
                 std::fprintf(
-                    stderr, "\r[%llu/%llu] %-40s",
-                    static_cast<unsigned long long>(
-                        message->at("completed").asUint()),
-                    static_cast<unsigned long long>(
-                        message->at("total").asUint()),
+                    stderr, "\r[%llu/%llu] %6.1fs %6.1f legs/s %-40s",
+                    static_cast<unsigned long long>(completed),
+                    static_cast<unsigned long long>(total),
+                    elapsed, rate,
                     message->at("leg").asString().c_str());
                 continue;
             }
@@ -178,6 +205,28 @@ cmdSubmit(service::ServiceClient &client, const core::CliOptions &cli)
     return followJob(client, job, true, cli);
 }
 
+/**
+ * Fetch the daemon's live telemetry snapshot: JSON by default,
+ * Prometheus text exposition with --prometheus.
+ */
+int
+cmdMetrics(service::ServiceClient &client, const core::CliOptions &cli)
+{
+    const report::Json reply =
+        client.request(service::makeMessage("metrics"));
+    if (service::checkMessage(reply) != "metrics")
+        throw service::ProtocolError("unexpected reply to metrics");
+    const report::Json &snapshot_json = reply.at("metrics");
+    if (cli.has("prometheus")) {
+        const telemetry::Snapshot snapshot =
+            report::telemetryFromJson(snapshot_json);
+        emit(cli, telemetry::renderPrometheus(snapshot));
+        return 0;
+    }
+    emit(cli, snapshot_json.dump(2) + "\n");
+    return 0;
+}
+
 int
 cmdSimple(service::ServiceClient &client, const core::CliOptions &cli,
           const std::string &type)
@@ -201,8 +250,7 @@ main(int argc, char **argv)
     // argv[1] (the subcommand) takes the program-name slot so the flag
     // parser sees only the remaining --flag arguments.
     const core::CliOptions cli(argc - 1, argv + 1);
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    core::applyLogLevel(cli);
 
     const std::string socket = cli.getString("socket", "");
     if (socket.empty())
@@ -226,6 +274,8 @@ main(int argc, char **argv)
                              cli);
         if (command == "result")
             return fetchResult(client, cli, cli.getString("job", ""));
+        if (command == "metrics")
+            return cmdMetrics(client, cli);
         if (command == "ping" || command == "shutdown")
             return cmdSimple(client, cli, command);
         return usage();

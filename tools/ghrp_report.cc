@@ -25,6 +25,11 @@
  *       per structure (icache, btb) that saw accesses. Run
  *       `gnuplot <experiment>_icache.gp` to render the PNG.
  *
+ *   ghrp-report check-telemetry FILE...
+ *       Verify each report carries a parseable extras.telemetry
+ *       snapshot (schema minor >= 2); exit 1 when any is missing or
+ *       malformed — the CI gate that benches keep embedding telemetry.
+ *
  * Exit codes: 0 success, 1 gate/drift failure, 2 usage or load error.
  */
 
@@ -38,6 +43,7 @@
 
 #include "report/render.hh"
 #include "report/report.hh"
+#include "report/telemetry_json.hh"
 
 namespace
 {
@@ -54,7 +60,8 @@ usage()
         "       ghrp-report diff BASELINE CANDIDATE [--check] "
         "[--max-regress PCT]\n"
         "       ghrp-report trajectory FILE [--out-dir DIR]\n"
-        "       ghrp-report plot FILE... [--out-dir DIR]\n");
+        "       ghrp-report plot FILE... [--out-dir DIR]\n"
+        "       ghrp-report check-telemetry FILE...\n");
     return 2;
 }
 
@@ -258,6 +265,41 @@ cmdPlot(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdCheckTelemetry(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    bool failed = false;
+    for (const std::string &file : args) {
+        const report::RunReport run = report::RunReport::load(file);
+        const report::Json *snapshot_json =
+            run.extras.find("telemetry");
+        if (!snapshot_json) {
+            std::fprintf(stderr,
+                         "ghrp-report: %s has no extras.telemetry\n",
+                         file.c_str());
+            failed = true;
+            continue;
+        }
+        try {
+            const telemetry::Snapshot snapshot =
+                report::telemetryFromJson(*snapshot_json);
+            std::printf("%s: telemetry ok (%zu counters, %zu gauges, "
+                        "%zu histograms)\n",
+                        file.c_str(), snapshot.counters.size(),
+                        snapshot.gauges.size(),
+                        snapshot.histograms.size());
+        } catch (const report::ReportError &e) {
+            std::fprintf(stderr,
+                         "ghrp-report: %s telemetry malformed: %s\n",
+                         file.c_str(), e.what());
+            failed = true;
+        }
+    }
+    return failed ? 1 : 0;
+}
+
 } // anonymous namespace
 
 int
@@ -277,6 +319,8 @@ main(int argc, char **argv)
             return cmdTrajectory(args);
         if (command == "plot")
             return cmdPlot(args);
+        if (command == "check-telemetry")
+            return cmdCheckTelemetry(args);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ghrp-report: %s\n", e.what());

@@ -5,6 +5,7 @@
  *   ghrp-served --socket PATH --journal-dir DIR [--jobs N]
  *               [--max-queue N] [--trace-cache DIR]
  *               [--fsync every|close|off] [--quiet]
+ *               [--log-level quiet|warn|info] [--trace-out FILE]
  *
  * Listens on a unix-domain socket for ghrp-client requests (see
  * src/service/protocol.hh), executes submitted sweeps one at a time
@@ -14,6 +15,11 @@
  * exit; restarting over the same --journal-dir resumes every
  * unfinished job from its last durable leg.
  *
+ * With --trace-out, span recording stays on for the daemon's entire
+ * lifetime and a Chrome trace_event JSON covering every served job is
+ * written on clean shutdown. Live metrics are always available through
+ * `ghrp-client metrics` — no flag needed.
+ *
  * Exit codes: 0 clean shutdown, 2 startup/usage error.
  */
 
@@ -22,6 +28,7 @@
 
 #include "core/cli.hh"
 #include "service/server.hh"
+#include "telemetry/span.hh"
 #include "util/logging.hh"
 
 namespace
@@ -44,8 +51,11 @@ main(int argc, char **argv)
     using namespace ghrp;
 
     const core::CliOptions cli(argc, argv);
-    if (cli.has("quiet"))
-        setLogLevel(LogLevel::Quiet);
+    core::applyLogLevel(cli);
+    telemetry::setThreadName("main");
+    const std::string trace_out = cli.getString("trace-out", "");
+    if (!trace_out.empty())
+        telemetry::setTracingEnabled(true);
 
     service::ServerConfig config;
     config.socketPath = cli.getString("socket", "");
@@ -58,7 +68,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: ghrp-served --socket PATH --journal-dir DIR"
                      " [--jobs N] [--max-queue N] [--trace-cache DIR]"
-                     " [--fsync every|close|off] [--quiet]\n");
+                     " [--fsync every|close|off] [--quiet]"
+                     " [--log-level L] [--trace-out FILE]\n");
         return 2;
     }
 
@@ -76,6 +87,10 @@ main(int argc, char **argv)
 
         server.run();
         activeServer = nullptr;
+
+        if (!trace_out.empty() &&
+            !telemetry::writeChromeTrace(trace_out))
+            warn("cannot write trace '%s'", trace_out.c_str());
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ghrp-served: %s\n", e.what());
