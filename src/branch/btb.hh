@@ -49,11 +49,11 @@ class Btb
     accessTaken(Addr pc, Addr target)
     {
         BtbResult result;
-        if (auto way = model.probe(pc)) {
-            result.hit = true;
-            result.targetMatched = model.payloadAt(pc, *way) == target;
-        }
-        const cache::AccessOutcome outcome = model.access(pc, pc, target);
+        Addr previous = 0;
+        const cache::AccessOutcome outcome =
+            model.accessExchange(pc, pc, target, previous);
+        result.hit = outcome.hit;
+        result.targetMatched = outcome.hit && previous == target;
         result.bypassed = outcome.bypassed;
         return result;
     }

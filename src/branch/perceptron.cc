@@ -55,8 +55,11 @@ HashedPerceptron::tableIndex(std::size_t table, Addr pc) const
         const std::uint64_t path_seg = pathHistory & lenMasks[table];
         // Merge gshare-style outcome history and path history; a
         // per-table odd multiplier skews the tables against each other.
-        h ^= foldHistory(outcome_seg);
-        h ^= foldHistory(path_seg * 0x9E3779B97F4A7C15ull);
+        // The outcome segment is masked to the table's history length,
+        // so its fold stops there; the path segment is multiplied up to
+        // full 64-bit population first and needs the whole sweep.
+        h ^= foldHistory(outcome_seg, cfg.historyLengths[table]);
+        h ^= foldHistory(path_seg * 0x9E3779B97F4A7C15ull, 64);
     }
     h *= tableMuls[table];
     return static_cast<std::uint32_t>((h >> 13) & (cfg.tableEntries - 1));

@@ -51,17 +51,20 @@ class HashedPerceptron : public DirectionPredictor
     /**
      * foldXor(v, foldBits) with the iteration count fixed at
      * construction: xor-folding zero high chunks is a no-op, so
-     * running the loop to 64 bits unconditionally gives the same
+     * running the loop over @p top_bits unconditionally gives the same
      * result as the early-exit reference while staying branch-free —
-     * this runs twice per table per prediction.
+     * this runs twice per table per prediction. @p top_bits bounds the
+     * population of @p v (64 for arbitrary values; the table's history
+     * length for a masked outcome segment, which skips the all-zero
+     * high chunks entirely).
      */
     std::uint64_t
-    foldHistory(std::uint64_t v) const
+    foldHistory(std::uint64_t v, unsigned top_bits) const
     {
         if (foldBits >= 64)
             return v;
         std::uint64_t folded = 0;
-        for (unsigned s = 0; s < 64; s += foldBits)
+        for (unsigned s = 0; s < top_bits; s += foldBits)
             folded ^= (v >> s) & foldMask;
         return folded;
     }

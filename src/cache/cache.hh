@@ -14,6 +14,7 @@
 
 #include "cache/config.hh"
 #include "cache/replacement.hh"
+#include "cache/tag_search.hh"
 #include "stats/efficiency.hh"
 #include "stats/mpki.hh"
 #include "util/bit_ops.hh"
@@ -40,7 +41,11 @@ struct NoPayload
 };
 
 /**
- * Set-associative cache model.
+ * Set-associative cache model. Tag-store metadata is laid out
+ * struct-of-arrays — one contiguous tag row per set plus a per-set
+ * validity bitmask — so the lookup is a branch-light tag compare the
+ * tag_search back ends (AVX2 where available, scalar otherwise) can
+ * chew through without touching payloads or policy metadata.
  *
  * @tparam Payload per-block payload stored alongside the tag (e.g. the
  *         branch target for a BTB).
@@ -57,11 +62,15 @@ class CacheModel
                std::unique_ptr<ReplacementPolicy> policy)
         : cfg(config), repl(std::move(policy)), sets(cfg.numSets()),
           ways(cfg.assoc), blockShift(floorLog2(cfg.blockBytes)),
-          lines(static_cast<std::size_t>(sets) * ways)
+          tags(static_cast<std::size_t>(sets) * ways, 0),
+          payloads(static_cast<std::size_t>(sets) * ways),
+          validMask(sets, 0), lastHitWay(sets, 0),
+          search(activeTagSearch())
     {
         GHRP_ASSERT(repl != nullptr);
         GHRP_ASSERT(isPowerOf2(sets));
         GHRP_ASSERT(isPowerOf2(cfg.blockBytes));
+        GHRP_ASSERT(ways <= 64);  // validity is one bitmask word per set
         repl->reset(sets, ways);
     }
 
@@ -85,6 +94,23 @@ class CacheModel
     AccessOutcome
     access(Addr addr, Addr pc, const Payload &payload = Payload{})
     {
+        Payload previous{};
+        return accessExchange(addr, pc, payload, previous);
+    }
+
+    /**
+     * access() variant that additionally reports the payload the hit
+     * entry held before the update. Lets callers that need the old
+     * payload (the BTB's target-match check) avoid a separate probe()
+     * — one tag search instead of two, identical state transitions.
+     *
+     * @param[out] previous on a hit, the payload before the update;
+     *             untouched otherwise.
+     */
+    AccessOutcome
+    accessExchange(Addr addr, Addr pc, const Payload &payload,
+                   Payload &previous)
+    {
         const std::uint64_t tick = ++tickCount;
         const Addr tag = blockAddress(addr);
         AccessInfo info{addr, pc, setIndex(addr), tick};
@@ -93,21 +119,17 @@ class CacheModel
         outcome.set = info.set;
 
         // --- lookup --------------------------------------------------
-        // The scan loop stays free of side effects (payload store,
-        // tracker dispatch) so the compiler keeps it a tight tag
+        // The search touches only the SoA tag row and validity mask
+        // (no payloads, no policy metadata), so it stays a tight tag
         // compare; hit bookkeeping happens once, after the scan.
-        Line *line_set = &lines[static_cast<std::size_t>(info.set) * ways];
-        std::uint32_t hit_way = ways;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (line_set[w].valid && line_set[w].tag == tag) {
-                hit_way = w;
-                break;
-            }
-        }
+        const std::size_t row = static_cast<std::size_t>(info.set) * ways;
+        const std::uint32_t hit_way =
+            findWay(row, info.set, tag);
         if (hit_way != ways) {
             outcome.hit = true;
             outcome.way = hit_way;
-            line_set[hit_way].payload = payload;
+            previous = payloads[row + hit_way];
+            payloads[row + hit_way] = payload;
             stats.recordHit();
             repl->onHit(info, hit_way);
             if (tracker)
@@ -123,14 +145,15 @@ class CacheModel
         }
         stats.recordMiss(false);
 
-        const VictimChoice victim = claimFrame(line_set, info, tick);
+        const VictimChoice victim = claimFrame(info, tick);
         outcome.evicted = victim.evicted;
         outcome.victimWasDead = victim.wasDead;
         outcome.victimAddress = victim.victimAddress;
 
-        line_set[victim.way].valid = true;
-        line_set[victim.way].tag = tag;
-        line_set[victim.way].payload = payload;
+        validMask[info.set] |= std::uint64_t{1} << victim.way;
+        tags[row + victim.way] = tag;
+        payloads[row + victim.way] = payload;
+        lastHitWay[info.set] = static_cast<std::uint8_t>(victim.way);
         outcome.way = victim.way;
         repl->onFill(info, victim.way);
         if (tracker)
@@ -155,7 +178,6 @@ class CacheModel
         const std::uint64_t tick = ++tickCount;
         const Addr tag = blockAddress(addr);
         AccessInfo info{addr, pc, setIndex(addr), tick};
-        Line *line_set = &lines[static_cast<std::size_t>(info.set) * ways];
 
         if (repl->shouldBypass(info))
             return false;
@@ -164,10 +186,11 @@ class CacheModel
         // shared helper: dead-eviction state (lastVictimWasDead read
         // between chooseVictim and onEvict) and the eviction counters
         // are reported consistently for demand fills and prefetches.
-        const VictimChoice victim = claimFrame(line_set, info, tick);
-        line_set[victim.way].valid = true;
-        line_set[victim.way].tag = tag;
-        line_set[victim.way].payload = Payload{};
+        const VictimChoice victim = claimFrame(info, tick);
+        const std::size_t row = static_cast<std::size_t>(info.set) * ways;
+        validMask[info.set] |= std::uint64_t{1} << victim.way;
+        tags[row + victim.way] = tag;
+        payloads[row + victim.way] = Payload{};
         repl->onFill(info, victim.way);
         if (tracker)
             tracker->onFill(info.set, victim.way, tick);
@@ -187,10 +210,10 @@ class CacheModel
     {
         const Addr tag = blockAddress(addr);
         const std::uint32_t set = setIndex(addr);
-        const Line *line_set = &lines[static_cast<std::size_t>(set) * ways];
-        for (std::uint32_t w = 0; w < ways; ++w)
-            if (line_set[w].valid && line_set[w].tag == tag)
-                return w;
+        const std::uint32_t way =
+            findWay(static_cast<std::size_t>(set) * ways, set, tag);
+        if (way != ways)
+            return way;
         return std::nullopt;
     }
 
@@ -199,17 +222,16 @@ class CacheModel
     payloadAt(Addr addr, std::uint32_t way) const
     {
         const std::uint32_t set = setIndex(addr);
-        const Line &line = lines[static_cast<std::size_t>(set) * ways + way];
-        GHRP_ASSERT(line.valid);
-        return line.payload;
+        GHRP_ASSERT((validMask[set] >> way) & 1u);
+        return payloads[static_cast<std::size_t>(set) * ways + way];
     }
 
     /** Invalidate everything (keeps policy metadata sizing). */
     void
     invalidateAll()
     {
-        for (Line &line : lines)
-            line.valid = false;
+        for (std::uint64_t &vm : validMask)
+            vm = 0;
     }
 
     /** Attach an efficiency tracker (not owned); nullptr detaches. */
@@ -227,12 +249,28 @@ class CacheModel
     std::uint64_t ticks() const { return tickCount; }
 
   private:
-    struct Line
+    /**
+     * Locate @p tag in @p set, or return `ways` when absent. A per-set
+     * hint remembers the way of the set's last hit: front-end streams
+     * alternate between a handful of hot blocks per set, so one scalar
+     * compare usually resolves the lookup without the full tag search.
+     * Tags are unique within a set (fills only happen when the tag is
+     * absent), so the hint can never disagree with the search — it is
+     * purely a shortcut, never a semantic change.
+     */
+    std::uint32_t
+    findWay(std::size_t row, std::uint32_t set, Addr tag) const
     {
-        bool valid = false;
-        Addr tag = 0;
-        Payload payload{};
-    };
+        const std::uint32_t hint = lastHitWay[set];
+        if (tags[row + hint] == tag &&
+            ((validMask[set] >> hint) & 1u) != 0)
+            return hint;
+        const std::uint32_t way =
+            search(&tags[row], validMask[set], ways, tag);
+        if (way != ways)
+            lastHitWay[set] = static_cast<std::uint8_t>(way);
+        return way;
+    }
 
     /** Outcome of claiming a frame for a fill. */
     struct VictimChoice
@@ -244,28 +282,32 @@ class CacheModel
     };
 
     /**
-     * Claim a frame in @p line_set for a fill: an invalid frame when
-     * one exists, else the policy's victim. The eviction sequence —
-     * chooseVictim, then lastVictimWasDead, then the eviction counters,
-     * then onEvict and the tracker callback — is the single definition
-     * shared by access() and prefetch(), so dead-eviction accounting
-     * cannot drift between the demand and prefetch paths.
+     * Claim a frame in info.set for a fill: the lowest invalid frame
+     * when one exists (a single bit scan of the validity mask), else
+     * the policy's victim. The eviction sequence — chooseVictim, then
+     * lastVictimWasDead, then the eviction counters, then onEvict and
+     * the tracker callback — is the single definition shared by
+     * access() and prefetch(), so dead-eviction accounting cannot
+     * drift between the demand and prefetch paths.
      */
     VictimChoice
-    claimFrame(Line *line_set, const AccessInfo &info, std::uint64_t tick)
+    claimFrame(const AccessInfo &info, std::uint64_t tick)
     {
         VictimChoice choice;
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            if (!line_set[w].valid) {
-                choice.way = w;
-                return choice;
-            }
+        const std::uint64_t invalid =
+            ~validMask[info.set] & mask(ways);
+        if (invalid != 0) {
+            choice.way =
+                static_cast<std::uint32_t>(std::countr_zero(invalid));
+            return choice;
         }
         choice.way = repl->chooseVictim(info);
         GHRP_ASSERT(choice.way < ways);
         choice.evicted = true;
         choice.wasDead = repl->lastVictimWasDead();
-        choice.victimAddress = line_set[choice.way].tag << blockShift;
+        choice.victimAddress =
+            tags[static_cast<std::size_t>(info.set) * ways + choice.way]
+            << blockShift;
         ++stats.evictions;
         if (choice.wasDead)
             ++stats.deadEvictions;
@@ -280,7 +322,15 @@ class CacheModel
     std::uint32_t sets;
     std::uint32_t ways;
     unsigned blockShift;
-    std::vector<Line> lines;
+    /** SoA tag store: tags[set * ways + way], payloads parallel, one
+     *  validity bitmask word per set (bit w = way w valid). */
+    std::vector<Addr> tags;
+    std::vector<Payload> payloads;
+    std::vector<std::uint64_t> validMask;
+    /** Way of each set's most recent hit (see findWay). Mutable: a
+     *  const probe() may still refresh the shortcut. */
+    mutable std::vector<std::uint8_t> lastHitWay;
+    TagSearchFn search;
     stats::AccessStats stats;
     stats::EfficiencyTracker *tracker = nullptr;
     std::uint64_t tickCount = 0;

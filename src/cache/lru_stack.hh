@@ -43,21 +43,23 @@ class LruStack
     void
     touch(std::uint32_t set, std::uint32_t way)
     {
-        const std::uint8_t old_pos = position[index(set, way)];
-        for (std::uint32_t w = 0; w < ways; ++w) {
-            std::uint8_t &pos = position[index(set, w)];
-            if (pos < old_pos)
-                ++pos;
-        }
-        position[index(set, way)] = 0;
+        // Hot path: one bounds check for the whole row, then a
+        // branch-free aging sweep the compiler can vectorize.
+        std::uint8_t *row = &position[index(set, way)] - way;
+        const std::uint8_t old_pos = row[way];
+        for (std::uint32_t w = 0; w < ways; ++w)
+            row[w] += static_cast<std::uint8_t>(row[w] < old_pos);
+        row[way] = 0;
     }
 
     /** Way currently at the LRU position of @p set. */
     std::uint32_t
     lruWay(std::uint32_t set) const
     {
+        const std::uint8_t *row = &position[index(set, 0)];
+        const auto last = static_cast<std::uint8_t>(ways - 1);
         for (std::uint32_t w = 0; w < ways; ++w)
-            if (position[index(set, w)] == ways - 1)
+            if (row[w] == last)
                 return w;
         panic("corrupt LRU stack in set %u", set);
     }

@@ -5,6 +5,7 @@
 #include <memory>
 #include <mutex>
 
+#include "frontend/fused.hh"
 #include "telemetry/metrics.hh"
 #include "telemetry/span.hh"
 #include "util/logging.hh"
@@ -128,6 +129,7 @@ struct SweepMetrics
     telemetry::Counter &legs;
     telemetry::Counter &slowLegs;
     telemetry::Counter &tracesDecoded;
+    telemetry::Counter &fusedGroups;
     telemetry::Histogram &legSeconds;
     telemetry::Histogram &decodeSeconds;
 };
@@ -139,6 +141,7 @@ sweepMetrics()
         telemetry::metrics().counter("sweep.legs"),
         telemetry::metrics().counter("sweep.slow_legs"),
         telemetry::metrics().counter("sweep.traces_decoded"),
+        telemetry::metrics().counter("sweep.fused_groups"),
         telemetry::metrics().histogram("sweep.leg_seconds"),
         telemetry::metrics().histogram("sweep.decode_seconds"),
     };
@@ -226,6 +229,54 @@ class SweepSink
              elapsed.count());
     }
 
+    /**
+     * Fused counterpart of running every policy leg of one trace:
+     * journaled legs are ticked and dropped from the lane set, the
+     * remaining lanes are simulated in one FusedSim walk of the shared
+     * stream, and each lane's result lands in the same slot a per-leg
+     * run would fill — bit-identically, since lanes execute the
+     * per-leg stepwise code on independent state. Group wall time is
+     * split evenly across lanes for the per-leg timing views.
+     */
+    void
+    runFusedGroup(std::size_t trace_index, const trace::DecodedTrace &dec)
+    {
+        std::vector<frontend::PolicyKind> lanes;
+        lanes.reserve(options.policies.size());
+        for (frontend::PolicyKind policy : options.policies) {
+            if (hooks.skipLeg && hooks.skipLeg(trace_index, policy))
+                tick(trace_index, policy, nullptr, 0.0);
+            else
+                lanes.push_back(policy);
+        }
+        if (lanes.empty() || (hooks.cancelled && hooks.cancelled()))
+            return;
+
+        const auto start = std::chrono::steady_clock::now();
+        std::vector<frontend::FrontendResult> results = [&] {
+            TELEMETRY_SPAN("simulate-fused",
+                           out.specs[trace_index].name + " / " +
+                               std::to_string(lanes.size()) + " lanes");
+            return frontend::simulateFused(options.base, lanes, dec);
+        }();
+        const std::chrono::duration<double> elapsed =
+            std::chrono::steady_clock::now() - start;
+        sweepMetrics().fusedGroups.add();
+        const double per_lane =
+            elapsed.count() / static_cast<double>(lanes.size());
+
+        for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+            const frontend::PolicyKind policy = lanes[lane];
+            sweepMetrics().legs.add();
+            sweepMetrics().legSeconds.observeSeconds(per_lane);
+            results[lane].traceName = out.specs[trace_index].name;
+            out.results[policy][trace_index] = std::move(results[lane]);
+            out.legSeconds[policy][trace_index] = per_lane;
+            tick(trace_index, policy,
+                 &out.results[policy][trace_index], per_lane);
+        }
+    }
+
   private:
     void
     tick(std::size_t trace_index, frontend::PolicyKind policy,
@@ -277,7 +328,16 @@ buildDecoded(const workload::TraceSpec &spec, const SuiteOptions &options,
     auto dec = std::make_shared<trace::DecodedTrace>(store.acquireDecoded(
         spec, options.instructionOverride, options.base.icache.blockBytes,
         options.base.instBytes));
-    frontend::resolveDirectionStream(*dec, options.base.direction);
+    // The resolved direction stream is a pure function of (trace
+    // content, direction kind), so the store can serve it from a
+    // sidecar; a miss resolves live and persists for the next run.
+    const int dir_kind = static_cast<int>(options.base.direction);
+    if (!store.loadDirectionStream(spec, options.instructionOverride,
+                                   dir_kind, *dec)) {
+        frontend::resolveDirectionStream(*dec, options.base.direction);
+        store.storeDirectionStream(spec, options.instructionOverride,
+                                   dir_kind, *dec);
+    }
     sweepMetrics().tracesDecoded.add();
     sweepMetrics().decodeSeconds.observeSeconds(
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -309,8 +369,12 @@ runSerial(SweepSink &sink, const SuiteResults &out,
         // resolved here too instead of once per leg.
         const DecodedPtr dec = buildDecoded(out.specs[i], options, store,
                                             hooks);
-        for (frontend::PolicyKind policy : options.policies)
-            sink.runLeg(i, policy, *dec);
+        if (options.fused) {
+            sink.runFusedGroup(i, *dec);
+        } else {
+            for (frontend::PolicyKind policy : options.policies)
+                sink.runLeg(i, policy, *dec);
+        }
     }
 }
 
@@ -367,11 +431,21 @@ runParallel(SweepSink &sink, const SuiteResults &out,
             break;  // cancelled before this trace's build was scheduled
         const DecodedPtr dec = builds[i].get();  // rethrows build errors
         builds[i] = {};
-        legs[i].reserve(options.policies.size());
-        for (frontend::PolicyKind policy : options.policies)
-            legs[i].push_back(pool.submit([&sink, i, policy, dec]() {
-                sink.runLeg(i, policy, *dec);
+        if (options.fused) {
+            // One job per trace-group: the fused walk simulates every
+            // remaining lane of this trace in one pass, so the unit of
+            // scheduling grows from a leg to a group while the window/
+            // harvest bookkeeping stays unchanged.
+            legs[i].push_back(pool.submit([&sink, i, dec]() {
+                sink.runFusedGroup(i, *dec);
             }));
+        } else {
+            legs[i].reserve(options.policies.size());
+            for (frontend::PolicyKind policy : options.policies)
+                legs[i].push_back(pool.submit([&sink, i, policy, dec]() {
+                    sink.runLeg(i, policy, *dec);
+                }));
+        }
         // Keep at most `window` traces with outstanding legs before
         // opening new builds, then harvest (and rethrow from) the
         // oldest trace's legs.

@@ -160,134 +160,156 @@ FrontendSim::~FrontendSim() = default;
 FrontendResult
 FrontendSim::run(const trace::DecodedTrace &dec)
 {
+    beginRun(dec);
+    const std::size_t n = dec.numRecords();
+    for (std::size_t i = 0; i < n; ++i)
+        stepRecord(dec, i);
+    return finishRun();
+}
+
+void
+FrontendSim::beginRun(const trace::DecodedTrace &dec)
+{
     // The decoded stream bakes in the fetch granularity; a mismatched
     // configuration would silently simulate the wrong block stream.
     GHRP_ASSERT(dec.blockBytes == cfg.icache.blockBytes);
     GHRP_ASSERT(dec.instBytes == cfg.instBytes);
 
-    FrontendResult result;
-    result.traceName = dec.name;
-    result.policy = policyName(cfg.policy);
+    pending = FrontendResult{};
+    pending.traceName = dec.name;
+    pending.policy = policyName(cfg.policy);
 
-    result.totalInstructions = dec.totalInstructions();
-    result.warmupInstructions = std::min<std::uint64_t>(
+    pending.totalInstructions = dec.totalInstructions();
+    pending.warmupInstructions = std::min<std::uint64_t>(
         static_cast<std::uint64_t>(
             cfg.warmupFraction *
-            static_cast<double>(result.totalInstructions)),
+            static_cast<double>(pending.totalInstructions)),
         cfg.warmupCapInstructions);
 
-    bool warm = result.warmupInstructions == 0;
-    const Addr block_mask = ~static_cast<Addr>(cfg.icache.blockBytes - 1);
-    const std::size_t n = dec.numRecords();
+    pendingWarm = pending.warmupInstructions == 0;
+    pendingBlockMask = ~static_cast<Addr>(cfg.icache.blockBytes - 1);
     // A pre-resolved direction stream replaces the per-leg predictor
     // simulation when it was resolved with this leg's predictor kind;
     // otherwise the predictor runs live (identical results, more work).
-    const bool pre_resolved =
+    pendingPreResolved =
         dec.hasDirectionStream() &&
         dec.directionKind == static_cast<int>(cfg.direction);
+}
 
-    for (std::size_t i = 0; i < n; ++i) {
-        // ---- fetch ops of the run ending at this branch ------------
-        // Fetch-buffer coalescing already happened at decode time; every
-        // op here is a real I-cache access.
-        const std::uint64_t op_end = dec.opBegin[i + 1];
-        for (std::uint64_t op = dec.opBegin[i]; op < op_end; ++op) {
-            const Addr fetch_pc = dec.fetchPc[op];
-            const Addr block_addr = fetch_pc & block_mask;
-            const cache::AccessOutcome out =
-                icache->access(block_addr, fetch_pc);
-            if (!out.hit && cfg.nextLinePrefetch > 0) {
-                for (std::uint32_t p = 1; p <= cfg.nextLinePrefetch; ++p)
-                    icache->prefetch(
-                        block_addr +
-                            static_cast<Addr>(p) * cfg.icache.blockBytes,
-                        fetch_pc);
-            }
-            if (ghrpPredictor) {
-                // The fetch-address stream updates both the speculative
-                // and the retired path history; in a trace-driven model
-                // fetch and commit coincide.
-                ghrpPredictor->updateSpecHistory(fetch_pc);
-                ghrpPredictor->updateRetiredHistory(fetch_pc);
-            }
+void
+FrontendSim::stepRecord(const trace::DecodedTrace &dec, std::size_t i)
+{
+    FrontendResult &result = pending;
+    const Addr block_mask = pendingBlockMask;
+    const bool pre_resolved = pendingPreResolved;
+
+    // ---- fetch ops of the run ending at this branch ------------
+    // Fetch-buffer coalescing already happened at decode time; every
+    // op here is a real I-cache access.
+    const std::uint64_t op_end = dec.opBegin[i + 1];
+    for (std::uint64_t op = dec.opBegin[i]; op < op_end; ++op) {
+        const Addr fetch_pc = dec.fetchPc[op];
+        const Addr block_addr = fetch_pc & block_mask;
+        const cache::AccessOutcome out =
+            icache->access(block_addr, fetch_pc);
+        if (!out.hit && cfg.nextLinePrefetch > 0) {
+            for (std::uint32_t p = 1; p <= cfg.nextLinePrefetch; ++p)
+                icache->prefetch(
+                    block_addr +
+                        static_cast<Addr>(p) * cfg.icache.blockBytes,
+                    fetch_pc);
         }
-
-        const Addr pc = dec.brPc[i];
-        const Addr target = dec.brTarget[i];
-        const std::uint8_t meta = dec.brMeta[i];
-        const bool taken = trace::branch_meta::taken(meta);
-
-        // ---- direction prediction ----------------------------------
-        if (trace::branch_meta::conditional(meta)) {
-            ++result.condBranches;
-            bool predicted;
-            if (pre_resolved) {
-                predicted = dec.dirPredictedTaken[i] != 0;
-            } else {
-                predicted = direction->predict(pc);
-                direction->update(pc, taken);
-            }
-            const bool mispredicted = predicted != taken;
-            if (mispredicted)
-                ++result.condMispredicts;
-
-            if (mispredicted && ghrpPredictor) {
-                // Model wrong-path pollution of the speculative history
-                // and its recovery from the retired history.
-                const Addr wrong_base =
-                    predicted ? target : pc + cfg.instBytes;
-                for (std::uint32_t w = 0; w < cfg.wrongPathNoise; ++w)
-                    ghrpPredictor->updateSpecHistory(
-                        wrong_base + static_cast<Addr>(w) * cfg.instBytes);
-                if (cfg.recoverGhrpHistory)
-                    ghrpPredictor->recoverHistory();
-            }
-        }
-
-        // ---- BTB and RAS -------------------------------------------
-        if (taken) {
-            if (trace::branch_meta::isReturn(meta) && cfg.useRas) {
-                ++result.rasReturns;
-                if (ras.pop() != target)
-                    ++result.rasMispredicts;
-            } else {
-                // Indirect target prediction: the indirect predictor
-                // (when attached) overrides the BTB's last-seen target.
-                if (trace::branch_meta::indirect(meta)) {
-                    ++result.indirectBranches;
-                    std::optional<Addr> predicted;
-                    if (indirect)
-                        predicted = indirect->predict(pc);
-                    if (!predicted)
-                        predicted = btb->predictTarget(pc);
-                    if (!predicted || *predicted != target)
-                        ++result.indirectMispredicts;
-                    if (indirect)
-                        indirect->update(pc, target);
-                }
-                const branch::BtbResult br = btb->accessTaken(pc, target);
-                if (br.hit && !br.targetMatched)
-                    ++result.btbTargetMismatches;
-            }
-        }
-        if (trace::branch_meta::call(meta) && taken && cfg.useRas)
-            ras.push(pc + cfg.instBytes);
-
-        // ---- warm-up boundary ---------------------------------------
-        if (!warm &&
-            dec.cumInstructions[i] >= result.warmupInstructions) {
-            warm = true;
-            icache->resetStats();
-            btb->resetStats();
-            result.condBranches = 0;
-            result.condMispredicts = 0;
-            result.btbTargetMismatches = 0;
-            result.rasReturns = 0;
-            result.rasMispredicts = 0;
-            result.indirectBranches = 0;
-            result.indirectMispredicts = 0;
+        if (ghrpPredictor) {
+            // The fetch-address stream updates both the speculative
+            // and the retired path history; in a trace-driven model
+            // fetch and commit coincide.
+            ghrpPredictor->updateSpecHistory(fetch_pc);
+            ghrpPredictor->updateRetiredHistory(fetch_pc);
         }
     }
+
+    const Addr pc = dec.brPc[i];
+    const Addr target = dec.brTarget[i];
+    const std::uint8_t meta = dec.brMeta[i];
+    const bool taken = trace::branch_meta::taken(meta);
+
+    // ---- direction prediction ----------------------------------
+    if (trace::branch_meta::conditional(meta)) {
+        ++result.condBranches;
+        bool predicted;
+        if (pre_resolved) {
+            predicted = dec.dirPredictedTaken[i] != 0;
+        } else {
+            predicted = direction->predict(pc);
+            direction->update(pc, taken);
+        }
+        const bool mispredicted = predicted != taken;
+        if (mispredicted)
+            ++result.condMispredicts;
+
+        if (mispredicted && ghrpPredictor) {
+            // Model wrong-path pollution of the speculative history
+            // and its recovery from the retired history.
+            const Addr wrong_base =
+                predicted ? target : pc + cfg.instBytes;
+            for (std::uint32_t w = 0; w < cfg.wrongPathNoise; ++w)
+                ghrpPredictor->updateSpecHistory(
+                    wrong_base + static_cast<Addr>(w) * cfg.instBytes);
+            if (cfg.recoverGhrpHistory)
+                ghrpPredictor->recoverHistory();
+        }
+    }
+
+    // ---- BTB and RAS -------------------------------------------
+    if (taken) {
+        if (trace::branch_meta::isReturn(meta) && cfg.useRas) {
+            ++result.rasReturns;
+            if (ras.pop() != target)
+                ++result.rasMispredicts;
+        } else {
+            // Indirect target prediction: the indirect predictor
+            // (when attached) overrides the BTB's last-seen target.
+            if (trace::branch_meta::indirect(meta)) {
+                ++result.indirectBranches;
+                std::optional<Addr> predicted;
+                if (indirect)
+                    predicted = indirect->predict(pc);
+                if (!predicted)
+                    predicted = btb->predictTarget(pc);
+                if (!predicted || *predicted != target)
+                    ++result.indirectMispredicts;
+                if (indirect)
+                    indirect->update(pc, target);
+            }
+            const branch::BtbResult br = btb->accessTaken(pc, target);
+            if (br.hit && !br.targetMatched)
+                ++result.btbTargetMismatches;
+        }
+    }
+    if (trace::branch_meta::call(meta) && taken && cfg.useRas)
+        ras.push(pc + cfg.instBytes);
+
+    // ---- warm-up boundary ---------------------------------------
+    if (!pendingWarm &&
+        dec.cumInstructions[i] >= result.warmupInstructions) {
+        pendingWarm = true;
+        icache->resetStats();
+        btb->resetStats();
+        result.condBranches = 0;
+        result.condMispredicts = 0;
+        result.btbTargetMismatches = 0;
+        result.rasReturns = 0;
+        result.rasMispredicts = 0;
+        result.indirectBranches = 0;
+        result.indirectMispredicts = 0;
+    }
+}
+
+FrontendResult
+FrontendSim::finishRun()
+{
+    FrontendResult result = std::move(pending);
+    pending = FrontendResult{};
 
     result.measuredInstructions =
         result.totalInstructions >= result.warmupInstructions

@@ -188,6 +188,21 @@ class FrontendSim
      */
     FrontendResult runWalker(const trace::Trace &trace);
 
+    /**
+     * Stepwise interface under run(DecodedTrace): beginRun() primes a
+     * fresh simulation of @p decoded, stepRecord() consumes record i
+     * (records must be fed in order, exactly once each), finishRun()
+     * seals and returns the statistics. run(decoded) is exactly
+     * beginRun + stepRecord(0..n) + finishRun; the fused executor uses
+     * the pieces directly to interleave many policy lanes over one
+     * chunked walk of the shared stream, which is why results are
+     * bit-identical to a per-leg run by construction. Like run(), a
+     * sim instance is good for one begin/finish cycle.
+     */
+    void beginRun(const trace::DecodedTrace &decoded);
+    void stepRecord(const trace::DecodedTrace &decoded, std::size_t i);
+    FrontendResult finishRun();
+
     /** Heat-map trackers (non-null only when trackEfficiency). */
     stats::EfficiencyTracker *icacheTracker() { return icacheEff.get(); }
     stats::EfficiencyTracker *btbTracker() { return btbEff.get(); }
@@ -210,6 +225,12 @@ class FrontendSim
 
     std::unique_ptr<stats::EfficiencyTracker> icacheEff;
     std::unique_ptr<stats::EfficiencyTracker> btbEff;
+
+    /** In-flight state of a beginRun/stepRecord/finishRun cycle. */
+    FrontendResult pending;
+    bool pendingWarm = false;
+    bool pendingPreResolved = false;
+    Addr pendingBlockMask = 0;
 };
 
 /**

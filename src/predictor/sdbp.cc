@@ -1,5 +1,7 @@
 #include "predictor/sdbp.hh"
 
+#include <bit>
+
 #include "util/logging.hh"
 
 namespace ghrp::predictor
@@ -20,7 +22,9 @@ SdbpReplacement::reset(std::uint32_t num_sets, std::uint32_t num_ways)
 {
     sets = num_sets;
     ways = num_ways;
-    sampler.assign(static_cast<std::size_t>(sets) * ways, SamplerEntry{});
+    samplerValid.assign(sets, 0);
+    samplerTags.assign(static_cast<std::size_t>(sets) * ways, 0);
+    samplerSigs.assign(static_cast<std::size_t>(sets) * ways, 0);
     samplerLru.reset(sets, ways);
     deadBit.assign(static_cast<std::size_t>(sets) * ways, 0);
     lru.reset(sets, ways);
@@ -56,40 +60,40 @@ SdbpReplacement::sampleAccess(const cache::AccessInfo &info)
     lastSampledTick = info.tick;
 
     const std::uint16_t tag = samplerTag(info.address);
-    const std::uint16_t sig = partialPc(info.pc);
+    const std::uint16_t sig = signatureFor(info);
     const std::uint32_t set = info.set;
+    const std::size_t row = index(set, 0);
+    std::uint16_t *tags_row = &samplerTags[row];
+    std::uint16_t *sigs_row = &samplerSigs[row];
+    const std::uint64_t valid = samplerValid[set];
 
-    // Sampler lookup.
+    // Sampler lookup: a partial tag can only occupy one way (installs
+    // happen on misses only), so the scan order is immaterial.
     for (std::uint32_t w = 0; w < ways; ++w) {
-        SamplerEntry &entry = sampler[index(set, w)];
-        if (entry.valid && entry.tag == tag) {
+        if (tags_row[w] == tag && ((valid >> w) & 1u) != 0) {
             // Reuse: the signature of the previous access to this
             // block did not lead to a dead block.
-            bank.train(bank.indicesFor(entry.signature), false);
-            entry.signature = sig;
+            bank.train(bank.indicesFor(sigs_row[w]), false);
+            sigs_row[w] = sig;
             samplerLru.touch(set, w);
             return;
         }
     }
 
-    // Sampler miss: victimize an invalid entry or the sampler-LRU one,
-    // training "dead" for the victim's last signature.
-    std::uint32_t victim = ways;
-    for (std::uint32_t w = 0; w < ways; ++w) {
-        if (!sampler[index(set, w)].valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == ways) {
+    // Sampler miss: victimize the lowest invalid way or the
+    // sampler-LRU one, training "dead" for the victim's last
+    // signature.
+    std::uint32_t victim;
+    const std::uint64_t invalid = ~valid & mask(ways);
+    if (invalid != 0) {
+        victim = static_cast<std::uint32_t>(std::countr_zero(invalid));
+    } else {
         victim = samplerLru.lruWay(set);
-        bank.train(bank.indicesFor(sampler[index(set, victim)].signature),
-                   true);
+        bank.train(bank.indicesFor(sigs_row[victim]), true);
     }
-    SamplerEntry &entry = sampler[index(set, victim)];
-    entry.valid = true;
-    entry.tag = tag;
-    entry.signature = sig;
+    samplerValid[set] = valid | (std::uint64_t{1} << victim);
+    tags_row[victim] = tag;
+    sigs_row[victim] = sig;
     samplerLru.touch(set, victim);
 }
 
@@ -99,7 +103,7 @@ SdbpReplacement::shouldBypass(const cache::AccessInfo &info)
     sampleAccess(info);
     if (!cfg.bypassEnabled)
         return false;
-    return bank.sumVote(bank.indicesFor(partialPc(info.pc)),
+    return bank.sumVote(bank.indicesFor(signatureFor(info)),
                         cfg.bypassThreshold);
 }
 
@@ -120,14 +124,16 @@ void
 SdbpReplacement::onHit(const cache::AccessInfo &info, std::uint32_t way)
 {
     sampleAccess(info);
-    deadBit[index(info.set, way)] = predictDead(partialPc(info.pc)) ? 1 : 0;
+    deadBit[index(info.set, way)] =
+        predictDead(signatureFor(info)) ? 1 : 0;
     lru.touch(info.set, way);
 }
 
 void
 SdbpReplacement::onFill(const cache::AccessInfo &info, std::uint32_t way)
 {
-    deadBit[index(info.set, way)] = predictDead(partialPc(info.pc)) ? 1 : 0;
+    deadBit[index(info.set, way)] =
+        predictDead(signatureFor(info)) ? 1 : 0;
     lru.touch(info.set, way);
 }
 

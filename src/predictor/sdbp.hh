@@ -76,13 +76,6 @@ class SdbpReplacement : public cache::ReplacementPolicy
     std::uint64_t storageBits() const;
 
   private:
-    struct SamplerEntry
-    {
-        bool valid = false;
-        std::uint16_t tag = 0;
-        std::uint16_t signature = 0;
-    };
-
     std::size_t
     index(std::uint32_t set, std::uint32_t way) const
     {
@@ -98,18 +91,42 @@ class SdbpReplacement : public cache::ReplacementPolicy
 
     std::uint16_t samplerTag(Addr addr) const;
 
+    /**
+     * partialPc(info.pc), folded once per access: shouldBypass,
+     * sampleAccess and the fill/hit hooks all need the signature of the
+     * same access, so the first caller computes it and the tick guard
+     * reuses it (same pattern as the sampleAccess double-run guard).
+     */
+    std::uint16_t
+    signatureFor(const cache::AccessInfo &info)
+    {
+        if (info.tick != sigTick) {
+            sigTick = info.tick;
+            sigCache = partialPc(info.pc);
+        }
+        return sigCache;
+    }
+
     SdbpConfig cfg;
     PredictionTables bank;
     std::uint32_t sets = 0;
     std::uint32_t ways = 0;
 
-    std::vector<SamplerEntry> sampler;
+    /** Sampler state, struct-of-arrays: one validity bitmask word per
+     *  set plus contiguous per-set tag and signature rows, so the
+     *  per-access sampler lookup is a tight 16-bit compare over one
+     *  cache line instead of a strided struct walk. */
+    std::vector<std::uint64_t> samplerValid;
+    std::vector<std::uint16_t> samplerTags;
+    std::vector<std::uint16_t> samplerSigs;
     cache::LruStack samplerLru;
 
     std::vector<std::uint8_t> deadBit;  ///< per main-cache block
     cache::LruStack lru;
     bool lastDead = false;
     std::uint64_t lastSampledTick = ~std::uint64_t{0};
+    std::uint64_t sigTick = ~std::uint64_t{0};
+    std::uint16_t sigCache = 0;
 };
 
 } // namespace ghrp::predictor

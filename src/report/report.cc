@@ -629,6 +629,7 @@ suiteOptionsToJson(const core::SuiteOptions &options)
     j.set("baseSeed", options.baseSeed);
     j.set("instructionOverride", options.instructionOverride);
     j.set("jobs", options.jobs);
+    j.set("fused", options.fused);
     j.set("traceCacheDir", options.traceCacheDir);
     Json policies = Json::array();
     for (frontend::PolicyKind policy : options.policies)
@@ -660,6 +661,9 @@ suiteOptionsFromJson(const Json &json)
         options.instructionOverride =
             json.at("instructionOverride").asUint();
         options.jobs = static_cast<unsigned>(json.at("jobs").asUint());
+        // Optional: reports older than the fused executor lack it.
+        if (const Json *fused = json.find("fused"))
+            options.fused = fused->asBool();
         options.traceCacheDir = json.at("traceCacheDir").asString();
         options.policies.clear();
         for (const Json &name : json.at("policies").asArray())

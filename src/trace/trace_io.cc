@@ -283,23 +283,6 @@ MappedTrace::release() noexcept
     length = 0;
 }
 
-BranchRecord
-MappedTrace::record(std::uint64_t i) const
-{
-    GHRP_ASSERT(i < nRecords);
-    const unsigned char *p = records + i * traceRecordStride;
-    BranchRecord rec;
-    std::memcpy(&rec.pc, p, sizeof(rec.pc));
-    std::memcpy(&rec.target, p + 8, sizeof(rec.target));
-    const std::uint8_t type = p[16];
-    if (type >= numBranchTypes)
-        fatal("corrupt branch type %u in mapped trace '%s'", type,
-              traceName.c_str());
-    rec.type = static_cast<BranchType>(type);
-    rec.taken = p[17] != 0;
-    return rec;
-}
-
 Trace
 MappedTrace::materialize() const
 {

@@ -17,10 +17,12 @@
 #define GHRP_TRACE_TRACE_IO_HH
 
 #include <cstddef>
+#include <cstring>
 #include <optional>
 #include <string>
 
 #include "trace/branch_record.hh"
+#include "util/logging.hh"
 
 namespace ghrp::trace
 {
@@ -85,8 +87,25 @@ class MappedTrace
     std::uint64_t numRecords() const { return nRecords; }
 
     /** Unpack record @p i (no bounds check beyond the debug assert;
-     *  fatal() on a corrupt branch-type byte). */
-    BranchRecord record(std::uint64_t i) const;
+     *  fatal() on a corrupt branch-type byte). Inline: the decode loop
+     *  unpacks every record of a trace through this accessor, and an
+     *  out-of-line call per record dominated its profile. */
+    BranchRecord
+    record(std::uint64_t i) const
+    {
+        GHRP_ASSERT(i < nRecords);
+        const unsigned char *p = records + i * traceRecordStride;
+        BranchRecord rec;
+        std::memcpy(&rec.pc, p, sizeof(rec.pc));
+        std::memcpy(&rec.target, p + 8, sizeof(rec.target));
+        const std::uint8_t type = p[16];
+        if (type >= numBranchTypes)
+            fatal("corrupt branch type %u in mapped trace '%s'", type,
+                  traceName.c_str());
+        rec.type = static_cast<BranchType>(type);
+        rec.taken = p[17] != 0;
+        return rec;
+    }
 
     /** Materialize the full in-memory Trace (used where a caller needs
      *  the record vector rather than streaming access). */

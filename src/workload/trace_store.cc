@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <system_error>
+#include <vector>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <unistd.h>
@@ -44,6 +46,46 @@ storeMetrics()
     };
     return m;
 }
+
+/** Direction-stream sidecar counters (hits/misses are tracked apart
+ *  from the raw-trace counters: a sidecar miss still re-resolves, it
+ *  never regenerates the trace). */
+struct DirectionMetrics
+{
+    telemetry::Counter &hits;
+    telemetry::Counter &misses;
+    telemetry::Counter &stores;
+};
+
+DirectionMetrics &
+directionMetrics()
+{
+    static DirectionMetrics m{
+        telemetry::metrics().counter("trace_store.direction_hits"),
+        telemetry::metrics().counter("trace_store.direction_misses"),
+        telemetry::metrics().counter("trace_store.direction_stores"),
+    };
+    return m;
+}
+
+/** Sidecar header; every field is checked on load. */
+struct DirectionHeader
+{
+    std::uint32_t magic = 0x47444952; // "GDIR"
+    std::uint32_t version = directionStreamVersion;
+    std::uint64_t contentKey = 0;
+    std::uint32_t directionKind = 0;
+    std::uint32_t reserved = 0;
+    std::uint64_t numRecords = 0;
+};
+
+/** RAII stdio handle (the sidecar is a single sequential read/write;
+ *  mmap buys nothing at one byte per record). */
+struct FileCloser
+{
+    void operator()(std::FILE *f) const { std::fclose(f); }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
 std::uint64_t
 fileBytes(const std::string &path)
@@ -222,6 +264,126 @@ TraceStore::acquire(const TraceSpec &spec,
     trace::Trace tr = buildTrace(spec, instruction_override);
     persist(tr, path);
     return tr;
+}
+
+std::string
+TraceStore::directionPathFor(const TraceSpec &spec,
+                             std::uint64_t instruction_override,
+                             int direction_kind) const
+{
+    char name[48];
+    std::snprintf(name, sizeof(name), "%016llx.dir%d",
+                  static_cast<unsigned long long>(
+                      contentKey(spec, instruction_override)),
+                  direction_kind);
+    return dir + "/" + name;
+}
+
+bool
+TraceStore::loadDirectionStream(const TraceSpec &spec,
+                                std::uint64_t instruction_override,
+                                int direction_kind,
+                                trace::DecodedTrace &dec) const
+{
+    if (!enabled() || direction_kind < 0)
+        return false;
+
+    const std::string path =
+        directionPathFor(spec, instruction_override, direction_kind);
+    FilePtr f(std::fopen(path.c_str(), "rb"));
+    if (!f) {
+        directionMetrics().misses.add();
+        return false;
+    }
+
+    DirectionHeader expect;
+    expect.contentKey = contentKey(spec, instruction_override);
+    expect.directionKind = static_cast<std::uint32_t>(direction_kind);
+    expect.numRecords = dec.numRecords();
+
+    DirectionHeader hdr;
+    std::vector<std::uint8_t> pred(dec.numRecords(), 0);
+    // Any mismatch — stale resolver version, a colliding key from an
+    // older layout, a record count that disagrees with this decode, a
+    // truncated body — is a plain miss: the caller re-resolves and
+    // overwrites the sidecar.
+    if (std::fread(&hdr, sizeof(hdr), 1, f.get()) != 1 ||
+        hdr.magic != expect.magic || hdr.version != expect.version ||
+        hdr.contentKey != expect.contentKey ||
+        hdr.directionKind != expect.directionKind ||
+        hdr.numRecords != expect.numRecords ||
+        (!pred.empty() &&
+         std::fread(pred.data(), 1, pred.size(), f.get()) !=
+             pred.size())) {
+        directionMetrics().misses.add();
+        return false;
+    }
+
+    dec.dirPredictedTaken = std::move(pred);
+    dec.directionKind = direction_kind;
+    directionMetrics().hits.add();
+    storeMetrics().readBytes.add(fileBytes(path));
+    return true;
+}
+
+void
+TraceStore::storeDirectionStream(const TraceSpec &spec,
+                                 std::uint64_t instruction_override,
+                                 int direction_kind,
+                                 const trace::DecodedTrace &dec)
+{
+    if (!enabled() || writeFailed.load(std::memory_order_relaxed))
+        return;
+    GHRP_ASSERT(dec.hasDirectionStream() &&
+                dec.directionKind == direction_kind);
+
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return;
+
+    const std::string path =
+        directionPathFor(spec, instruction_override, direction_kind);
+    char suffix[64];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%ld.%llu",
+                  static_cast<long>(
+#if defined(__unix__) || defined(__APPLE__)
+                      ::getpid()
+#else
+                      0
+#endif
+                          ),
+                  static_cast<unsigned long long>(
+                      tempCounter.fetch_add(1, std::memory_order_relaxed)));
+    const std::string tmp = path + suffix;
+
+    DirectionHeader hdr;
+    hdr.contentKey = contentKey(spec, instruction_override);
+    hdr.directionKind = static_cast<std::uint32_t>(direction_kind);
+    hdr.numRecords = dec.dirPredictedTaken.size();
+
+    bool ok = false;
+    if (FilePtr f{std::fopen(tmp.c_str(), "wb")}) {
+        ok = std::fwrite(&hdr, sizeof(hdr), 1, f.get()) == 1 &&
+             (dec.dirPredictedTaken.empty() ||
+              std::fwrite(dec.dirPredictedTaken.data(), 1,
+                          dec.dirPredictedTaken.size(),
+                          f.get()) == dec.dirPredictedTaken.size());
+    }
+    std::error_code rename_ec;
+    if (ok)
+        std::filesystem::rename(tmp, path, rename_ec);
+    if (!ok || rename_ec) {
+        // Same policy as persist(): a sidecar write failure means the
+        // directory is unusable, so stop retrying for this process.
+        if (!writeFailed.exchange(true))
+            warn("trace store: cannot write direction sidecar under "
+                 "'%s'; continuing without persisting", dir.c_str());
+        std::filesystem::remove(tmp, ec);
+        return;
+    }
+    directionMetrics().stores.add();
+    storeMetrics().writtenBytes.add(fileBytes(path));
 }
 
 trace::DecodedTrace

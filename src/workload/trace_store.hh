@@ -40,6 +40,15 @@ namespace ghrp::workload
  */
 constexpr std::uint32_t generatorVersion = 1;
 
+/**
+ * Version of the direction-resolution pipeline (the predictor
+ * implementations and their default configurations). Bump whenever a
+ * change alters the predicted-direction sequence a given (trace,
+ * direction kind) produces; cached sidecars keyed under the old
+ * version then stop matching automatically.
+ */
+constexpr std::uint32_t directionStreamVersion = 1;
+
 class TraceStore
 {
   public:
@@ -88,6 +97,31 @@ class TraceStore
                                        std::uint32_t block_bytes,
                                        std::uint32_t inst_bytes);
 
+    /**
+     * Load a cached pre-resolved direction stream for @p dec into
+     * dec.dirPredictedTaken / dec.directionKind. The stream is a pure
+     * function of (trace content, direction kind, resolver version) —
+     * the sidecar is keyed by exactly those, so a hit is byte-identical
+     * to re-running the predictor. @return false (dec untouched) when
+     * the store is disabled, the sidecar is absent, or any header field
+     * (magic, versions, content key, kind, record count) disagrees.
+     */
+    bool loadDirectionStream(const TraceSpec &spec,
+                             std::uint64_t instruction_override,
+                             int direction_kind,
+                             trace::DecodedTrace &dec) const;
+
+    /**
+     * Persist dec's resolved direction stream as a sidecar next to the
+     * trace (atomic temp-file + rename; no-op when the store is
+     * disabled or a previous write failed). dec must carry a stream of
+     * @p direction_kind.
+     */
+    void storeDirectionStream(const TraceSpec &spec,
+                              std::uint64_t instruction_override,
+                              int direction_kind,
+                              const trace::DecodedTrace &dec);
+
     struct Stats
     {
         std::uint64_t hits = 0;   ///< served from disk
@@ -107,6 +141,11 @@ class TraceStore
     /** Persist @p tr at @p path via temp-file + atomic rename; failures
      *  warn once and leave the store read-only for this process. */
     void persist(const trace::Trace &tr, const std::string &path);
+
+    /** Sidecar path: <dir>/<key16hex>.dir<kind>. */
+    std::string directionPathFor(const TraceSpec &spec,
+                                 std::uint64_t instruction_override,
+                                 int direction_kind) const;
 
     std::string dir;
     std::atomic<std::uint64_t> hitCount{0};

@@ -400,15 +400,19 @@ TEST(Service, WatchStreamsProgressToTerminalStatus)
  * over the same journal directory resumes the job, re-simulating only
  * the missing legs (every leg is journaled exactly once across both
  * lives). The final report's legs must be bit-identical to an
- * uninterrupted in-process run of the same options.
+ * uninterrupted in-process PER-LEG run of the same options — for a
+ * fused job too, where the kill lands mid-group and the resume fuses
+ * only the lanes the journal is missing.
  */
-TEST(Service, SigkillMidJobResumesFromJournal)
+void
+sigkillResumeCase(const std::string &scratch, bool fused)
 {
-    const std::string dir = scratchDir("crash");
+    const std::string dir = scratchDir(scratch);
     const ServerConfig cfg = testConfig(dir);
     // Big enough that the kill lands mid-job with wide margin: 30
     // legs at several milliseconds each.
-    const core::SuiteOptions options = smallSuite(6, 8'000'000);
+    core::SuiteOptions options = smallSuite(6, 8'000'000);
+    options.fused = fused;
 
     const auto spawn_daemon = [&cfg]() -> pid_t {
         const pid_t pid = ::fork();
@@ -477,10 +481,24 @@ TEST(Service, SigkillMidJobResumesFromJournal)
     EXPECT_EQ(countRecords(journal_path, "leg"), total_legs);
     EXPECT_EQ(countRecords(journal_path, "done"), 1u);
 
-    const core::SuiteResults local = core::runSuite(options);
+    // Reference legs always come from the per-leg path, so the fused
+    // case additionally pins fused == per-leg across a crash boundary.
+    core::SuiteOptions per_leg = options;
+    per_leg.fused = false;
+    const core::SuiteResults local = core::runSuite(per_leg);
     const report::RunReport reference =
         report::buildSuiteReport("fig03_icache_scurve", options, local);
     EXPECT_EQ(normalizedDump(served), normalizedDump(reference));
+}
+
+TEST(Service, SigkillMidJobResumesFromJournal)
+{
+    sigkillResumeCase("crash", false);
+}
+
+TEST(Service, SigkillMidFusedJobResumesFromJournal)
+{
+    sigkillResumeCase("crash-fused", true);
 }
 
 } // anonymous namespace

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "frontend/frontend.hh"
 #include "trace/decoded_trace.hh"
 #include "trace/trace_io.hh"
 #include "workload/trace_store.hh"
@@ -232,6 +233,71 @@ TEST(TraceStoreTest, FailedPublishFallsBackToStoreless)
          std::filesystem::recursive_directory_iterator(dir))
         regular_files += entry.is_regular_file() ? 1 : 0;
     EXPECT_EQ(regular_files, 0u);
+}
+
+TEST(DirectionSidecar, RoundTripReproducesLiveResolve)
+{
+    TraceStore store(scratchDir("dir-roundtrip"));
+    const auto sp = specs(1);
+    const int kind =
+        static_cast<int>(frontend::DirectionKind::HashedPerceptron);
+
+    trace::DecodedTrace dec = store.acquireDecoded(sp[0], 40'000, 64, 4);
+    ASSERT_FALSE(store.loadDirectionStream(sp[0], 40'000, kind, dec));
+    frontend::resolveDirectionStream(
+        dec, frontend::DirectionKind::HashedPerceptron);
+    store.storeDirectionStream(sp[0], 40'000, kind, dec);
+    ASSERT_TRUE(std::filesystem::exists(
+        store.directory() + "/" +
+        std::filesystem::path(store.pathFor(sp[0], 40'000))
+            .stem().string() + ".dir" + std::to_string(kind)));
+
+    // A second decode served from the sidecar must be byte-identical
+    // to the live resolve.
+    trace::DecodedTrace again = store.acquireDecoded(sp[0], 40'000, 64, 4);
+    ASSERT_TRUE(store.loadDirectionStream(sp[0], 40'000, kind, again));
+    EXPECT_EQ(again.directionKind, kind);
+    EXPECT_EQ(again.dirPredictedTaken, dec.dirPredictedTaken);
+}
+
+TEST(DirectionSidecar, MismatchedHeaderIsAMiss)
+{
+    TraceStore store(scratchDir("dir-mismatch"));
+    const auto sp = specs(1);
+    const int kind =
+        static_cast<int>(frontend::DirectionKind::HashedPerceptron);
+
+    trace::DecodedTrace dec = store.acquireDecoded(sp[0], 40'000, 64, 4);
+    frontend::resolveDirectionStream(
+        dec, frontend::DirectionKind::HashedPerceptron);
+    store.storeDirectionStream(sp[0], 40'000, kind, dec);
+
+    // A different direction kind never matches this sidecar.
+    trace::DecodedTrace probe = store.acquireDecoded(sp[0], 40'000, 64, 4);
+    EXPECT_FALSE(
+        store.loadDirectionStream(sp[0], 40'000, kind + 1, probe));
+    EXPECT_FALSE(probe.hasDirectionStream());
+
+    // Corrupting the version field must degrade to a miss, not load.
+    const std::string path =
+        store.directory() + "/" +
+        std::filesystem::path(store.pathFor(sp[0], 40'000))
+            .stem().string() + ".dir" + std::to_string(kind);
+    {
+        std::fstream f(path, std::ios::in | std::ios::out |
+                                 std::ios::binary);
+        ASSERT_TRUE(f.good());
+        f.seekp(4);  // version field, just past the magic
+        const char bogus = 127;
+        f.write(&bogus, 1);
+    }
+    EXPECT_FALSE(store.loadDirectionStream(sp[0], 40'000, kind, probe));
+
+    // So must truncating the body.
+    store.storeDirectionStream(sp[0], 40'000, kind, dec);
+    std::filesystem::resize_file(
+        path, std::filesystem::file_size(path) / 2);
+    EXPECT_FALSE(store.loadDirectionStream(sp[0], 40'000, kind, probe));
 }
 
 } // anonymous namespace

@@ -3,8 +3,8 @@
  * ghrp-client: command-line client of the sweep-serving daemon.
  *
  *   ghrp-client submit --socket PATH [--experiment NAME] [--traces N]
- *       [--seed S] [--instructions M] [--jobs N] [--priority P]
- *       [--timeout SEC] [--wait] [--out FILE]
+ *       [--seed S] [--instructions M] [--jobs N] [--fused]
+ *       [--priority P] [--timeout SEC] [--wait] [--out FILE]
  *       Submit a suite sweep (fig03-style defaults). With --wait,
  *       stream progress until the job finishes, then fetch the run
  *       report (to --out FILE, else stdout). The wait loop reconnects
@@ -50,7 +50,8 @@ usage()
         stderr,
         "usage: ghrp-client submit --socket PATH [--experiment NAME]\n"
         "           [--traces N] [--seed S] [--instructions M] [--jobs N]\n"
-        "           [--priority P] [--timeout SEC] [--wait] [--out FILE]\n"
+        "           [--fused] [--priority P] [--timeout SEC] [--wait]\n"
+        "           [--out FILE]\n"
         "       ghrp-client status|watch|result|cancel --socket PATH"
         " --job ID [--out FILE]\n"
         "       ghrp-client metrics --socket PATH [--prometheus]"
@@ -173,6 +174,7 @@ cmdSubmit(service::ServiceClient &client, const core::CliOptions &cli)
     options.baseSeed = cli.getUint("seed", 42);
     options.instructionOverride = cli.getUint("instructions", 0);
     options.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
+    options.fused = cli.has("fused");
 
     report::Json request = service::makeMessage("submit");
     request.set("experiment",
