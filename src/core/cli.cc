@@ -119,6 +119,31 @@ knownCliFlags()
         {"out", "ghrp-client/ghrp-report: output file or directory"},
         {"prometheus",
          "ghrp-client metrics: render Prometheus text instead of JSON"},
+        {"watch",
+         "ghrp-client metrics: refresh the snapshot every SECS seconds"},
+        {"total-threads",
+         "ghrp-served: global simulation thread budget shared by all "
+         "running jobs (0 = hardware concurrency)"},
+        {"max-active",
+         "ghrp-served: jobs running concurrently (0 = total-threads, "
+         "1 = serial daemon)"},
+        {"start-paused",
+         "ghrp-served: accept and journal submissions but run nothing "
+         "(fault-injection hook)"},
+        {"daemons",
+         "ghrp-client sweep: comma-separated daemon socket paths"},
+        {"daemons-file",
+         "ghrp-client sweep: discovery file, one daemon socket per line"},
+        {"seeds",
+         "ghrp-client sweep: comma-separated base seeds (one cell each)"},
+        {"policies",
+         "ghrp-client sweep: comma-separated policy names per cell"},
+        {"shard-attempts",
+         "ghrp-client sweep: submit attempts per shard before giving up"},
+        {"poll-ms",
+         "ghrp-client sweep: fleet poll interval in milliseconds"},
+        {"out-dir",
+         "ghrp-client sweep: directory for the merged cell reports"},
     };
     return flags;
 }

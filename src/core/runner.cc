@@ -1,7 +1,9 @@
 #include "core/runner.hh"
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 
@@ -315,6 +317,67 @@ class SweepSink
     std::size_t done = 0;
 };
 
+/**
+ * Caps one run's in-flight pool tasks at its thread lease, so several
+ * concurrent runs can share one pool without any of them swamping the
+ * queue: a run with lease L keeps at most L tasks submitted-but-
+ * unfinished, leaving the remaining workers to other runs. acquire()
+ * blocks the coordinating (non-pool) thread only; pool tasks never
+ * block, so the shared pool cannot deadlock.
+ */
+class TaskThrottle
+{
+  public:
+    explicit TaskThrottle(std::size_t limit)
+        : limit(std::max<std::size_t>(limit, 1))
+    {
+    }
+
+    void
+    acquire()
+    {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return inFlight < limit; });
+        ++inFlight;
+    }
+
+    void
+    release()
+    {
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --inFlight;
+        }
+        cv.notify_one();
+    }
+
+  private:
+    const std::size_t limit;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::size_t inFlight = 0;
+};
+
+/** Submit @p fn to @p pool, holding one throttle permit (when a
+ *  throttle is present) from submission until the task finishes,
+ *  normally or by exception. */
+template <typename F>
+auto
+submitLeased(util::ThreadPool &pool, TaskThrottle *throttle, F fn)
+{
+    if (!throttle)
+        return pool.submit(std::move(fn));
+    throttle->acquire();
+    return pool.submit([throttle, fn = std::move(fn)]() {
+        struct Permit
+        {
+            TaskThrottle *throttle;
+            ~Permit() { throttle->release(); }
+        } permit{throttle};
+        return fn();
+    });
+}
+
 /** Acquire + decode + direction-resolve one trace, honouring the
  *  hooks' decoded-trace provider when present. */
 DecodedPtr
@@ -389,11 +452,14 @@ runSerial(SweepSink &sink, const SuiteResults &out,
 void
 runParallel(SweepSink &sink, const SuiteResults &out,
             const SuiteOptions &options, workload::TraceStore &store,
-            util::ThreadPool &pool, const RunHooks &hooks)
+            util::ThreadPool &pool, const RunHooks &hooks,
+            TaskThrottle *throttle, unsigned lease)
 {
     const std::size_t num_traces = out.specs.size();
+    // The build window follows the lease, not the pool: a run leasing
+    // 2 of 16 shared workers must not decode 32 traces ahead.
     const std::size_t window =
-        std::max<std::size_t>(2 * static_cast<std::size_t>(pool.size()), 4);
+        std::max<std::size_t>(2 * static_cast<std::size_t>(lease), 4);
 
     std::vector<std::future<DecodedPtr>> builds(num_traces);
     std::vector<char> elided(num_traces, 0);
@@ -412,8 +478,8 @@ runParallel(SweepSink &sink, const SuiteResults &out,
                 continue;
             }
             const workload::TraceSpec &spec = out.specs[next_build];
-            builds[next_build] =
-                pool.submit([&spec, &options, &store, &hooks]() {
+            builds[next_build] = submitLeased(
+                pool, throttle, [&spec, &options, &store, &hooks]() {
                     return buildDecoded(spec, options, store, hooks);
                 });
         }
@@ -436,15 +502,17 @@ runParallel(SweepSink &sink, const SuiteResults &out,
             // remaining lane of this trace in one pass, so the unit of
             // scheduling grows from a leg to a group while the window/
             // harvest bookkeeping stays unchanged.
-            legs[i].push_back(pool.submit([&sink, i, dec]() {
+            legs[i].push_back(submitLeased(pool, throttle, [&sink, i,
+                                                            dec]() {
                 sink.runFusedGroup(i, *dec);
             }));
         } else {
             legs[i].reserve(options.policies.size());
             for (frontend::PolicyKind policy : options.policies)
-                legs[i].push_back(pool.submit([&sink, i, policy, dec]() {
-                    sink.runLeg(i, policy, *dec);
-                }));
+                legs[i].push_back(submitLeased(
+                    pool, throttle, [&sink, i, policy, dec]() {
+                        sink.runLeg(i, policy, *dec);
+                    }));
         }
         // Keep at most `window` traces with outstanding legs before
         // opening new builds, then harvest (and rethrow from) the
@@ -482,13 +550,24 @@ runSuite(const SuiteOptions &options, const ProgressFn &progress,
         options.jobs ? options.jobs : util::ThreadPool::hardwareJobs();
 
     const auto start = std::chrono::steady_clock::now();
-    if (jobs <= 1 || out.specs.size() * options.policies.size() <= 1) {
+    if (hooks.pool) {
+        // Shared pool: options.jobs is this run's thread lease, and a
+        // throttle keeps at most that many of its tasks in flight so
+        // concurrent runs on the same pool share the budget fairly.
+        const unsigned lease =
+            std::min(std::max(jobs, 1u), hooks.pool->size());
+        TaskThrottle throttle(lease);
+        runParallel(sink, out, options, store, *hooks.pool, hooks,
+                    &throttle, lease);
+    } else if (jobs <= 1 ||
+               out.specs.size() * options.policies.size() <= 1) {
         runSerial(sink, out, options, store, hooks);
     } else {
         // Destroyed before `out` and `sink`, so no job outlives the
         // state it references even on exception unwind.
         util::ThreadPool pool(jobs);
-        runParallel(sink, out, options, store, pool, hooks);
+        runParallel(sink, out, options, store, pool, hooks, nullptr,
+                    pool.size());
     }
     out.wallSeconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -

@@ -18,6 +18,7 @@
 
 #include "frontend/frontend.hh"
 #include "stats/confidence.hh"
+#include "util/thread_pool.hh"
 #include "workload/suite.hh"
 #include "workload/trace_store.hh"
 
@@ -208,6 +209,21 @@ struct RunHooks
     std::function<std::shared_ptr<const trace::DecodedTrace>(
         const workload::TraceSpec &, const SuiteOptions &)>
         acquireDecoded;
+
+    /**
+     * Run this sweep's build and simulation tasks on an externally
+     * owned pool instead of a pool created per call, so several
+     * concurrent runSuite calls can share one global thread budget
+     * (the daemon scheduler sizes the shared pool to --total-threads).
+     * options.jobs then acts as this run's *thread lease*: the maximum
+     * number of its tasks in flight on the shared pool at once (0 or
+     * anything above the pool size leases the whole pool). The calling
+     * thread only coordinates — builds the trace window and harvests
+     * futures — and all simulation runs on pool threads, so a blocked
+     * caller costs no budget. Results are bit-identical to an
+     * owned-pool run for every lease value.
+     */
+    util::ThreadPool *pool = nullptr;
 };
 
 /**

@@ -802,4 +802,95 @@ buildSuiteReport(const std::string &experiment,
     return report;
 }
 
+RunReport
+mergeShardReports(const std::string &experiment,
+                  const core::SuiteOptions &options,
+                  const std::vector<RunReport> &shards)
+{
+    if (shards.empty())
+        throw ReportError("merge: no shard reports");
+
+    // Two shards belong to the same cell iff their options agree on
+    // everything that can change results: policy subset, jobs, fused
+    // and the trace cache are execution knobs with a bit-identical
+    // guarantee, so they are normalized away before comparing.
+    const auto cellIdentity = [](const core::SuiteOptions &o) {
+        core::SuiteOptions norm = o;
+        norm.policies.clear();
+        norm.jobs = 0;
+        norm.fused = false;
+        norm.verbose = false;
+        norm.slowLegMs = 0.0;
+        norm.traceCacheDir.clear();
+        return suiteOptionsToJson(norm).dump(0);
+    };
+    const std::string cell = cellIdentity(options);
+
+    core::SuiteResults results;
+    results.specs =
+        workload::makeSuite(options.numTraces, options.baseSeed);
+    std::map<std::string, std::size_t> spec_index;
+    for (std::size_t i = 0; i < results.specs.size(); ++i)
+        spec_index.emplace(results.specs[i].name, i);
+
+    std::map<frontend::PolicyKind, std::vector<char>> filled;
+    for (frontend::PolicyKind policy : options.policies) {
+        results.results[policy].resize(results.specs.size());
+        results.legSeconds[policy].assign(results.specs.size(), 0.0);
+        filled[policy].assign(results.specs.size(), 0);
+    }
+
+    for (const RunReport &shard : shards) {
+        const core::SuiteOptions shard_options =
+            suiteOptionsFromJson(shard.options);
+        if (cellIdentity(shard_options) != cell)
+            throw ReportError("merge: shard '" + shard.runId +
+                              "' ran a different sweep cell");
+
+        for (const Leg &leg : shard.legs) {
+            const frontend::PolicyKind policy =
+                policyFromName(leg.policy);
+            const auto fit = filled.find(policy);
+            if (fit == filled.end())
+                throw ReportError("merge: shard '" + shard.runId +
+                                  "' carries policy '" + leg.policy +
+                                  "' which is not in this cell");
+            const auto sit = spec_index.find(leg.trace);
+            if (sit == spec_index.end())
+                throw ReportError("merge: shard '" + shard.runId +
+                                  "' carries trace '" + leg.trace +
+                                  "' which is not in this cell");
+            char &slot = fit->second[sit->second];
+            if (slot)
+                throw ReportError("merge: duplicate leg (" + leg.trace +
+                                  ", " + leg.policy + ")");
+            slot = 1;
+            // The crash-resume injection path: the slot holds exactly
+            // what the shard's runner produced.
+            results.results.at(policy)[sit->second] =
+                toFrontendResult(leg);
+            results.legSeconds.at(policy)[sit->second] = leg.seconds;
+        }
+
+        // Shards run concurrently: campaign wall is the slowest shard.
+        results.wallSeconds =
+            std::max(results.wallSeconds, shard.sweep.wallSeconds);
+        results.traceStoreEnabled =
+            results.traceStoreEnabled || shard.sweep.traceStoreEnabled;
+        results.traceStore.hits += shard.sweep.traceStoreHits;
+        results.traceStore.misses += shard.sweep.traceStoreMisses;
+        results.traceStore.stores += shard.sweep.traceStoreStores;
+    }
+
+    for (const auto &[policy, slots] : filled)
+        for (std::size_t i = 0; i < slots.size(); ++i)
+            if (!slots[i])
+                throw ReportError(
+                    "merge: no shard carried leg (" +
+                    results.specs[i].name + ", " +
+                    frontend::policyName(policy) + ")");
+
+    return buildSuiteReport(experiment, options, results);
+}
+
 } // namespace ghrp::report

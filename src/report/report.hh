@@ -251,6 +251,28 @@ RunReport buildSuiteReport(const std::string &experiment,
                            const core::SuiteOptions &options,
                            const core::SuiteResults &results);
 
+/**
+ * Merge per-policy shard reports of ONE sweep cell back into the
+ * report an in-process runSuite over @p options would have produced.
+ * Each shard must be a suite report over the same cell (numTraces,
+ * baseSeed, instruction override, frontend config — everything except
+ * the policy subset, jobs and cache/fused execution knobs, which never
+ * affect results) carrying some subset of the cell's (trace, policy)
+ * legs. The legs are reassembled into their runner slots via
+ * toFrontendResult — the same injection path crash resume uses — so
+ * the merged document's legs and per-policy aggregates are
+ * bit-identical to the unsharded run.
+ *
+ * Throws ReportError on an incompatible shard, an unknown trace or
+ * policy, a duplicated leg, or a cell with missing legs after all
+ * shards are consumed. Wall-clock is the max over shards (shards run
+ * concurrently) and trace-store traffic the sum; both are outside the
+ * determinism guarantee.
+ */
+RunReport mergeShardReports(const std::string &experiment,
+                            const core::SuiteOptions &options,
+                            const std::vector<RunReport> &shards);
+
 } // namespace ghrp::report
 
 #endif // GHRP_REPORT_REPORT_HH

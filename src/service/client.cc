@@ -121,4 +121,41 @@ ServiceClient::request(const report::Json &message)
     return *std::move(reply);
 }
 
+report::Json
+ServiceClient::submitWithBackoff(const report::Json &submit_message,
+                                 double deadline_seconds,
+                                 unsigned *rejections)
+{
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point deadline =
+        Clock::now() +
+        std::chrono::duration_cast<Clock::duration>(
+            std::chrono::duration<double>(deadline_seconds));
+    if (rejections)
+        *rejections = 0;
+
+    while (true) {
+        report::Json reply = request(submit_message);
+        if (checkMessage(reply) != "rejected")
+            return reply;
+        if (rejections)
+            ++*rejections;
+
+        double wait_seconds = 1.0;
+        if (const report::Json *hint = reply.find("retryAfterSeconds"))
+            wait_seconds = hint->asDouble();
+        wait_seconds = std::clamp(wait_seconds, 0.05, 30.0);
+        if (Clock::now() +
+                std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(wait_seconds)) >
+            deadline)
+            throw ProtocolError(
+                "queue still full after " +
+                std::to_string(deadline_seconds) + "s: " +
+                reply.at("reason").asString());
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(wait_seconds));
+    }
+}
+
 } // namespace ghrp::service

@@ -55,6 +55,20 @@ class ServiceClient
      */
     report::Json request(const report::Json &message);
 
+    /**
+     * Submit with queue-full backoff: request() @p submit_message and,
+     * on a "rejected" reply, sleep for the server's retryAfterSeconds
+     * hint (default 1 s when absent, capped at 30 s) and retry until
+     * accepted or @p deadline_seconds has elapsed since the first
+     * attempt. Returns the "submitted" reply; throws ProtocolError
+     * when the deadline passes while the queue is still full. If
+     * @p rejections is non-null it receives the number of rejected
+     * attempts (for tests and telemetry).
+     */
+    report::Json submitWithBackoff(const report::Json &submit_message,
+                                   double deadline_seconds = 60.0,
+                                   unsigned *rejections = nullptr);
+
   private:
     std::string path;
     int fd = -1;

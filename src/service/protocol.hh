@@ -20,7 +20,7 @@
  *                              | rejected {reason, retryAfterSeconds?}
  *   status {job}              -> jobStatus {job, state, experiment,
  *                                           completedLegs, totalLegs,
- *                                           error?}
+ *                                           leasedThreads?, error?}
  *   watch {job}               -> progress {job, completed, total, leg,
  *                                          elapsedSeconds}*
  *                                then a terminal jobStatus
@@ -32,7 +32,10 @@
  *   error {error}             (server -> client, any failed request)
  *
  * Minor 1 added the metrics request and the elapsedSeconds member of
- * progress events; both are invisible to minor-0 peers.
+ * progress events; both are invisible to minor-0 peers. Minor 2 added
+ * the leasedThreads member of jobStatus (the running job's share of
+ * the daemon's --total-threads budget), equally invisible to older
+ * peers.
  */
 
 #ifndef GHRP_SERVICE_PROTOCOL_HH
@@ -59,7 +62,7 @@ struct ProtocolError : std::runtime_error
 /** Protocol identity; bump major only on incompatible changes. */
 inline constexpr char kProtocolName[] = "ghrp-service";
 inline constexpr int kProtocolMajor = 1;
-inline constexpr int kProtocolMinor = 1;
+inline constexpr int kProtocolMinor = 2;
 
 /** Upper bound on one frame's payload (a full run report fits with
  *  room to spare; anything larger is a corrupt or hostile peer). */

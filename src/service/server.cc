@@ -38,6 +38,9 @@ struct ServiceMetrics
     telemetry::Counter &failed;
     telemetry::Counter &cancelled;
     telemetry::Gauge &queueDepth;
+    telemetry::Gauge &activeJobs;
+    telemetry::Gauge &leasedThreads;
+    telemetry::Gauge &totalThreads;
     telemetry::Histogram &jobWaitSeconds;
     telemetry::Histogram &jobSeconds;
 };
@@ -52,6 +55,9 @@ serviceMetrics()
         telemetry::metrics().counter("service.jobs_failed"),
         telemetry::metrics().counter("service.jobs_cancelled"),
         telemetry::metrics().gauge("service.queue_depth"),
+        telemetry::metrics().gauge("service.active_jobs"),
+        telemetry::metrics().gauge("service.leased_threads"),
+        telemetry::metrics().gauge("service.total_threads"),
         telemetry::metrics().histogram("service.job_wait_seconds"),
         telemetry::metrics().histogram("service.job_seconds"),
     };
@@ -116,14 +122,17 @@ ServiceServer::ServiceServer(ServerConfig config)
 
 ServiceServer::~ServiceServer()
 {
-    if (worker.joinable()) {
+    if (!workers.empty()) {
         stopRequested.store(true, std::memory_order_relaxed);
         {
             std::lock_guard<std::mutex> lock(jobsMutex);
             workerExit = true;
         }
         workerCv.notify_all();
-        worker.join();
+        for (std::thread &thread : workers)
+            if (thread.joinable())
+                thread.join();
+        workers.clear();
     }
     for (Connection &conn : connections)
         if (conn.fd >= 0)
@@ -165,10 +174,21 @@ ServiceServer::start()
     bindSocket();
     recoverJournals();
 
+    totalThreads = cfg.totalThreads != 0 ? cfg.totalThreads
+                                         : util::ThreadPool::hardwareJobs();
+    maxActiveJobs =
+        cfg.maxActiveJobs != 0 ? cfg.maxActiveJobs : totalThreads;
+    simPool = std::make_unique<util::ThreadPool>(totalThreads);
+    serviceMetrics().totalThreads.set(static_cast<double>(totalThreads));
+
     workerPaused = cfg.startPaused;
-    worker = std::thread([this] { workerMain(); });
-    inform("ghrp-served: listening on %s (journal %s, queue %zu)",
-           cfg.socketPath.c_str(), cfg.journalDir.c_str(), cfg.maxQueue);
+    workers.reserve(maxActiveJobs);
+    for (unsigned i = 0; i < maxActiveJobs; ++i)
+        workers.emplace_back([this] { workerMain(); });
+    inform("ghrp-served: listening on %s (journal %s, queue %zu, "
+           "%u threads / %u active jobs)",
+           cfg.socketPath.c_str(), cfg.journalDir.c_str(), cfg.maxQueue,
+           totalThreads, maxActiveJobs);
 }
 
 void
@@ -281,17 +301,19 @@ ServiceServer::run()
             connections.end());
     }
 
-    // Drain: stop the worker at the next leg boundary; its completed
-    // legs are already journaled, so an unfinished job resumes on the
-    // next start() over the same journal directory.
+    // Drain: stop every in-flight job at its next leg boundary; the
+    // completed legs are already journaled, so unfinished jobs resume
+    // on the next start() over the same journal directory.
     stopRequested.store(true, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(jobsMutex);
         workerExit = true;
     }
     workerCv.notify_all();
-    if (worker.joinable())
-        worker.join();
+    for (std::thread &thread : workers)
+        if (thread.joinable())
+            thread.join();
+    workers.clear();
     inform("ghrp-served: stopped");
 }
 
@@ -469,6 +491,8 @@ ServiceServer::jobStatusMessage(const Job &job)
     reply.set("experiment", job.experiment);
     reply.set("completedLegs", job.completedLegs);
     reply.set("totalLegs", job.totalLegs);
+    if (job.state == JobState::Running)
+        reply.set("leasedThreads", job.leasedThreads);
     if (!job.error.empty())
         reply.set("error", job.error);
     return reply;
@@ -665,6 +689,7 @@ ServiceServer::workerMain()
 {
     while (true) {
         std::string job_id;
+        unsigned lease = 0;
         {
             std::unique_lock<std::mutex> lock(jobsMutex);
             workerCv.wait(lock, [this] {
@@ -681,22 +706,55 @@ ServiceServer::workerMain()
             queue.erase(best);
             Job &job = jobs.at(job_id);
             job.state = JobState::Running;
+
+            // Lease threads from the global budget: the request (the
+            // job's own jobs value, already defaulted at submit) is
+            // clamped to what is free, but never below one — every
+            // admitted job makes progress, and a lease beyond the
+            // budget only interleaves in the shared pool's queue.
+            unsigned request = job.options.jobs != 0 ? job.options.jobs
+                                                     : totalThreads;
+            request = std::min(request, totalThreads);
+            const unsigned free =
+                totalThreads > leasedThreads ? totalThreads - leasedThreads
+                                             : 0;
+            lease = std::max(1u, std::min(request, std::max(free, 1u)));
+            job.leasedThreads = lease;
+            leasedThreads += lease;
+            ++activeJobs;
             serviceMetrics().queueDepth.set(
                 static_cast<double>(queue.size()));
+            serviceMetrics().activeJobs.set(
+                static_cast<double>(activeJobs));
+            serviceMetrics().leasedThreads.set(
+                static_cast<double>(leasedThreads));
             serviceMetrics().jobWaitSeconds.observeSeconds(
                 std::chrono::duration<double>(
                     std::chrono::steady_clock::now() - job.enqueuedAt)
                     .count());
         }
         postEvent({Event::Kind::StateChange, job_id, 0, 0, {}});
-        executeJob(job_id);
+        executeJob(job_id, lease);
+        {
+            std::lock_guard<std::mutex> lock(jobsMutex);
+            Job &job = jobs.at(job_id);
+            leasedThreads -= job.leasedThreads;
+            job.leasedThreads = 0;
+            --activeJobs;
+            serviceMetrics().activeJobs.set(
+                static_cast<double>(activeJobs));
+            serviceMetrics().leasedThreads.set(
+                static_cast<double>(leasedThreads));
+        }
+        // Freed budget may unblock a coordinator waiting on the queue.
+        workerCv.notify_all();
         if (stopRequested.load(std::memory_order_relaxed))
             return;
     }
 }
 
 void
-ServiceServer::executeJob(const std::string &job_id)
+ServiceServer::executeJob(const std::string &job_id, unsigned lease)
 {
     using Clock = std::chrono::steady_clock;
 
@@ -792,6 +850,10 @@ ServiceServer::executeJob(const std::string &job_id)
                    const core::SuiteOptions &run_options) {
                 return cachedDecoded(spec, run_options);
             };
+        // All jobs share the scheduler's pool; the lease caps how many
+        // of this job's tasks are in flight at once.
+        hooks.pool = simPool.get();
+        options.jobs = lease;
 
         const core::ProgressFn progress =
             [this, &job_id, run_start](std::size_t done,
@@ -917,13 +979,27 @@ ServiceServer::recoverJournals()
     }
     std::sort(ids.begin(), ids.end());
 
-    std::size_t resumed = 0;
+    std::vector<std::string> resumed;
     for (const std::string &id : ids)
         if (recoverOne(id))
-            ++resumed;
-    if (!ids.empty())
-        inform("ghrp-served: recovered %zu journal(s), %zu resumed",
-               ids.size(), resumed);
+            resumed.push_back(id);
+    if (!resumed.empty()) {
+        // One warn-level line so interrupted work is visible in any
+        // log level an operator is likely to run at.
+        std::string joined;
+        for (const std::string &id : resumed) {
+            if (!joined.empty())
+                joined += ", ";
+            joined += id;
+        }
+        warn("ghrp-served: resuming %zu interrupted job(s) from "
+             "journals: %s",
+             resumed.size(), joined.c_str());
+    } else if (!ids.empty()) {
+        inform("ghrp-served: recovered %zu journal(s), none needed "
+               "resuming",
+               ids.size());
+    }
 }
 
 bool

@@ -7,12 +7,18 @@
  * watching clients.
  *
  * Threading model: one poll()-driven network thread (run()) owns all
- * sockets and the job table; one worker thread executes jobs (each
- * job internally fans out over the runner's thread pool). The worker
- * communicates with the network thread through a mutex-protected
- * event queue plus a wakeup pipe, and requestStop() is async-signal-
- * safe (a single write to a self-pipe), so SIGTERM handlers can call
- * it directly.
+ * sockets and the job table; a scheduler of N coordinator threads
+ * (--max-active) executes up to N jobs concurrently. All simulation
+ * work runs on ONE shared thread pool sized to the global budget
+ * (--total-threads): each starting job leases threads from that
+ * budget — lease = clamp(requested jobs, 1, free budget) — and the
+ * lease caps the job's in-flight pool tasks, so small jobs pack
+ * alongside large ones instead of serializing behind them while the
+ * pool's OS thread count never exceeds the budget. Coordinators
+ * communicate with the network thread through a mutex-protected event
+ * queue plus a wakeup pipe, and requestStop() is async-signal-safe (a
+ * single write to a self-pipe), so SIGTERM handlers can call it
+ * directly.
  *
  * Durability: the submit handler journals the job record before
  * acknowledging, the worker journals each completed leg, and a
@@ -50,6 +56,7 @@
 #include "report/report.hh"
 #include "service/journal.hh"
 #include "service/protocol.hh"
+#include "util/thread_pool.hh"
 #include "workload/trace_store.hh"
 
 namespace ghrp::service
@@ -62,9 +69,21 @@ struct ServerConfig
     std::string journalDir;   ///< per-job journals + final reports
     std::string traceCacheDir;  ///< shared TraceStore root ("" = env)
 
-    /** Runner threads per job (SuiteOptions::jobs semantics); jobs
-     *  submitted with jobs == 0 also inherit this. */
+    /** Default thread request of jobs submitted with jobs == 0; 0
+     *  requests the whole budget. The scheduler clamps every request
+     *  to the free budget at start (min 1), so this is a ceiling, not
+     *  a reservation. */
     unsigned jobs = 0;
+
+    /** Global simulation thread budget: the size of the one pool
+     *  every concurrent job leases from. 0 = hardware concurrency. */
+    unsigned totalThreads = 0;
+
+    /** Jobs running concurrently (scheduler coordinator threads).
+     *  0 = the resolved totalThreads; 1 reproduces the old serial
+     *  daemon exactly. Coordinators only harvest futures, so they add
+     *  no OS-thread pressure beyond the pool budget. */
+    unsigned maxActiveJobs = 0;
 
     /** Queued-job bound; submits beyond it are rejected with a
      *  retry-after hint (the running job does not count). */
@@ -77,7 +96,7 @@ struct ServerConfig
     /** Decoded traces kept hot across jobs (LRU); 0 disables. */
     std::size_t decodedCacheTraces = 32;
 
-    /** Test hook: start with the worker paused so queue behaviour
+    /** Test hook: start with the scheduler paused so queue behaviour
      *  (backpressure, priorities) is deterministic; resumeWorker()
      *  releases it. */
     bool startPaused = false;
@@ -107,15 +126,17 @@ class ServiceServer
 
     /**
      * Bind the socket, replay existing journals (re-enqueueing
-     * unfinished jobs) and start the worker thread. Throws
-     * std::runtime_error on socket/journal-directory failures.
+     * unfinished jobs), create the shared simulation pool and start
+     * the scheduler threads. Throws std::runtime_error on socket/
+     * journal-directory failures.
      */
     void start();
 
     /**
      * Serve until requestStop(): accept clients, dispatch requests,
-     * forward worker events to watchers. On exit the worker has
-     * drained its in-flight legs into the journal and stopped.
+     * forward scheduler events to watchers. On exit every in-flight
+     * job has drained its completed legs into its journal and the
+     * scheduler has stopped.
      */
     void run();
 
@@ -127,7 +148,7 @@ class ServiceServer
      */
     void requestStop();
 
-    /** Release a startPaused worker (test hook). */
+    /** Release a startPaused scheduler (test hook). */
     void resumeWorker();
 
     const ServerConfig &config() const { return cfg; }
@@ -162,6 +183,9 @@ class ServiceServer
         std::map<std::pair<std::size_t, frontend::PolicyKind>,
                  report::Leg>
             recoveredLegs;
+
+        /** Threads leased from the global budget while running. */
+        unsigned leasedThreads = 0;
 
         bool cancelRequested = false;
     };
@@ -209,9 +233,9 @@ class ServiceServer
     void drainEvents();
     report::Json jobStatusMessage(const Job &job);
 
-    // --- worker thread ----------------------------------------------
+    // --- scheduler (coordinator threads) ----------------------------
     void workerMain();
-    void executeJob(const std::string &job_id);
+    void executeJob(const std::string &job_id, unsigned lease);
     void postEvent(Event event);
     std::shared_ptr<const trace::DecodedTrace>
     cachedDecoded(const workload::TraceSpec &spec,
@@ -231,16 +255,31 @@ class ServiceServer
     /** Seen by the worker's cancellation hook from runner threads. */
     std::atomic<bool> stopRequested{false};
 
-    /** Guards jobs, queue, counters and worker pause state. */
+    /** Guards jobs, queue, counters, leases and scheduler pause
+     *  state. */
     std::mutex jobsMutex;
     std::condition_variable workerCv;
     std::map<std::string, Job> jobs;
-    /** Queued job ids; the worker pops the best (priority, FIFO). */
+    /** Queued job ids; coordinators pop the best (priority, FIFO). */
     std::deque<std::string> queue;
     std::uint64_t nextJobNumber = 1;
     bool workerPaused = false;
     bool workerExit = false;
-    std::thread worker;
+
+    /** Resolved budget/concurrency (start()); immutable afterwards. */
+    unsigned totalThreads = 0;
+    unsigned maxActiveJobs = 0;
+    /** Threads currently leased (jobsMutex). Can transiently exceed
+     *  totalThreads because every admitted job gets at least one —
+     *  the pool still never runs more than totalThreads OS threads;
+     *  excess leases only interleave in its queue. */
+    unsigned leasedThreads = 0;
+    unsigned activeJobs = 0;  ///< jobs in state Running (jobsMutex)
+
+    /** The one pool all concurrent jobs lease simulation threads
+     *  from; coordinators only block on futures. */
+    std::unique_ptr<util::ThreadPool> simPool;
+    std::vector<std::thread> workers;  ///< scheduler coordinators
 
     std::mutex eventsMutex;
     std::deque<Event> events;

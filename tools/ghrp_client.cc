@@ -16,11 +16,25 @@
  *   ghrp-client cancel --socket PATH --job ID
  *   ghrp-client ping   --socket PATH
  *   ghrp-client metrics --socket PATH [--prometheus] [--out FILE]
+ *       [--watch SECS]
  *       Fetch the daemon's live telemetry snapshot: queue depth, job
  *       wait/run histograms, trace-store hit counters, journal fsync
  *       latency. Default output is the snapshot JSON; --prometheus
- *       renders Prometheus text exposition instead.
+ *       renders Prometheus text exposition instead. --watch refreshes
+ *       every SECS seconds (reconnecting across daemon restarts)
+ *       until interrupted, so scheduler behaviour is observable live.
  *   ghrp-client shutdown --socket PATH
+ *
+ *   ghrp-client sweep (--daemons S1,S2,... | --daemons-file FILE)
+ *       [--experiment NAME] [--traces N] [--instructions M] [--fused]
+ *       [--seeds A,B,...] [--policies P,Q,...] [--shard-attempts N]
+ *       [--poll-ms MS] [--timeout SEC] [--out-dir DIR | --out FILE]
+ *       Expand the (seeds x policies) grid into per-policy shards,
+ *       load-balance them across the daemon pool using live telemetry,
+ *       retry shards lost to daemon crashes, and merge each seed
+ *       cell's shard reports into the document an in-process run
+ *       would have produced (bit-identical per leg). One cell goes to
+ *       --out/stdout; multiple cells require --out-dir.
  *
  * Exit codes: 0 success, 1 job failed/cancelled or rejected,
  * 2 usage or connection error.
@@ -28,13 +42,17 @@
 
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 
 #include "core/cli.hh"
 #include "report/report.hh"
 #include "report/telemetry_json.hh"
 #include "service/client.hh"
+#include "service/sweep.hh"
 #include "telemetry/exposition.hh"
 #include "util/logging.hh"
 
@@ -55,9 +73,27 @@ usage()
         "       ghrp-client status|watch|result|cancel --socket PATH"
         " --job ID [--out FILE]\n"
         "       ghrp-client metrics --socket PATH [--prometheus]"
-        " [--out FILE]\n"
-        "       ghrp-client ping|shutdown --socket PATH\n");
+        " [--out FILE] [--watch SECS]\n"
+        "       ghrp-client ping|shutdown --socket PATH\n"
+        "       ghrp-client sweep (--daemons LIST | --daemons-file F)\n"
+        "           [--experiment NAME] [--traces N] [--instructions M]\n"
+        "           [--fused] [--seeds A,B,...] [--policies P,Q,...]\n"
+        "           [--shard-attempts N] [--poll-ms MS] [--timeout SEC]\n"
+        "           [--out-dir DIR | --out FILE]\n");
     return 2;
+}
+
+/** Split a comma-separated list, dropping empty tokens. */
+std::vector<std::string>
+splitList(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::istringstream stream(text);
+    std::string token;
+    while (std::getline(stream, token, ','))
+        if (!token.empty())
+            out.push_back(token);
+    return out;
 }
 
 /** Write @p text to --out FILE, or stdout when no flag was given. */
@@ -214,18 +250,101 @@ cmdSubmit(service::ServiceClient &client, const core::CliOptions &cli)
 int
 cmdMetrics(service::ServiceClient &client, const core::CliOptions &cli)
 {
-    const report::Json reply =
-        client.request(service::makeMessage("metrics"));
-    if (service::checkMessage(reply) != "metrics")
-        throw service::ProtocolError("unexpected reply to metrics");
-    const report::Json &snapshot_json = reply.at("metrics");
-    if (cli.has("prometheus")) {
-        const telemetry::Snapshot snapshot =
-            report::telemetryFromJson(snapshot_json);
-        emit(cli, telemetry::renderPrometheus(snapshot));
+    const double watch = cli.getDouble("watch", 0.0);
+    while (true) {
+        const report::Json reply =
+            client.request(service::makeMessage("metrics"));
+        if (service::checkMessage(reply) != "metrics")
+            throw service::ProtocolError("unexpected reply to metrics");
+        const report::Json &snapshot_json = reply.at("metrics");
+        if (cli.has("prometheus")) {
+            const telemetry::Snapshot snapshot =
+                report::telemetryFromJson(snapshot_json);
+            emit(cli, telemetry::renderPrometheus(snapshot));
+        } else {
+            emit(cli, snapshot_json.dump(2) + "\n");
+        }
+        if (watch <= 0.0)
+            return 0;
+        // Each refresh must reach a redirected stdout immediately —
+        // a dashboard pipe should not lag a block-buffer behind.
+        std::fflush(stdout);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(watch));
+        // Survive a daemon restart between refreshes.
+        if (!client.connected() && !client.connect(watch + 5.0))
+            throw service::ProtocolError("lost connection to " +
+                                         client.socketPath());
+    }
+}
+
+int
+cmdSweep(const core::CliOptions &cli)
+{
+    namespace fs = std::filesystem;
+
+    service::SweepOptions options;
+    options.daemons = splitList(cli.getString("daemons", ""));
+    const std::string daemons_file = cli.getString("daemons-file", "");
+    if (!daemons_file.empty()) {
+        const std::vector<std::string> discovered =
+            service::readDaemonsFile(daemons_file);
+        options.daemons.insert(options.daemons.end(), discovered.begin(),
+                               discovered.end());
+    }
+    if (options.daemons.empty()) {
+        std::fprintf(stderr, "ghrp-client sweep: --daemons or "
+                             "--daemons-file required\n");
+        return 2;
+    }
+    options.maxAttempts =
+        static_cast<unsigned>(cli.getUint("shard-attempts", 3));
+    options.pollSeconds = cli.getDouble("poll-ms", 200.0) / 1000.0;
+    options.campaignTimeoutSeconds = cli.getDouble("timeout", 0.0);
+    options.verbose = true;  // inform() already honors --log-level
+
+    service::SweepGrid grid;
+    grid.experiment =
+        cli.getString("experiment", "fig03_icache_scurve");
+    grid.base.numTraces =
+        static_cast<std::uint32_t>(cli.getUint("traces", 24));
+    grid.base.instructionOverride = cli.getUint("instructions", 0);
+    grid.base.fused = cli.has("fused");
+    for (const std::string &token :
+         splitList(cli.getString("seeds", "42")))
+        grid.seeds.push_back(std::stoull(token));
+    for (const std::string &token :
+         splitList(cli.getString("policies", "")))
+        grid.policies.push_back(frontend::parsePolicy(token));
+
+    const service::SweepOutcome outcome =
+        service::runSweepCampaign(grid, options);
+    std::fprintf(stderr,
+                 "sweep: %zu shard(s), %zu resubmit(s), %zu cell "
+                 "report(s)\n",
+                 outcome.shards, outcome.resubmits,
+                 outcome.cells.size());
+
+    const std::string out_dir = cli.getString("out-dir", "");
+    if (out_dir.empty()) {
+        if (outcome.cells.size() != 1) {
+            std::fprintf(stderr, "ghrp-client sweep: %zu cell reports "
+                                 "need --out-dir\n",
+                         outcome.cells.size());
+            return 2;
+        }
+        emit(cli, outcome.cells.front().toJson().dump(2) + "\n");
         return 0;
     }
-    emit(cli, snapshot_json.dump(2) + "\n");
+    fs::create_directories(out_dir);
+    for (std::size_t i = 0; i < outcome.cells.size(); ++i) {
+        const std::string path =
+            out_dir + "/" + grid.experiment + "-seed" +
+            std::to_string(outcome.cellOptions[i].baseSeed) +
+            ".report.json";
+        outcome.cells[i].write(path);
+        std::fprintf(stderr, "wrote %s\n", path.c_str());
+    }
     return 0;
 }
 
@@ -253,6 +372,15 @@ main(int argc, char **argv)
     // parser sees only the remaining --flag arguments.
     const core::CliOptions cli(argc - 1, argv + 1);
     core::applyLogLevel(cli);
+
+    if (command == "sweep") {
+        try {
+            return cmdSweep(cli);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "ghrp-client: %s\n", e.what());
+            return 2;
+        }
+    }
 
     const std::string socket = cli.getString("socket", "");
     if (socket.empty())
