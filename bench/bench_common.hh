@@ -36,6 +36,8 @@
  *                      GHRP_REPORT_DIR environment variable (when set)
  *                      selects <dir>/<experiment>.json — handy for
  *                      fleet runs that report every binary
+ *   --duel A,B[,...]   append a duel:A,B[,psel=N][,leaders=K]
+ *                      set-dueling leg to the suite's policy axis
  */
 
 #ifndef GHRP_BENCH_BENCH_COMMON_HH
@@ -129,6 +131,9 @@ suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
             options.fused = true;
     options.traceCacheDir = cli.getString("trace-cache", "");
     options.slowLegMs = cli.getDouble("slow-leg-ms", 0.0);
+    if (const std::string duel = cli.getString("duel", ""); !duel.empty())
+        options.policies.push_back(
+            frontend::parsePolicySpec("duel:" + duel));
     initTelemetry(cli, experiment);
     return options;
 }
@@ -213,14 +218,14 @@ reportThroughput(const core::SuiteResults &results, unsigned jobs,
         static_cast<double>(results.simulatedInstructions());
 
     double busy = 0.0, slowest = 0.0;
-    const char *slow_trace = "";
-    const char *slow_policy = "";
+    std::string slow_trace;
+    std::string slow_policy;
     for (const auto &[policy, seconds] : results.legSeconds) {
         for (std::size_t i = 0; i < seconds.size(); ++i) {
             busy += seconds[i];
             if (seconds[i] > slowest) {
                 slowest = seconds[i];
-                slow_trace = results.specs[i].name.c_str();
+                slow_trace = results.specs[i].name;
                 slow_policy = frontend::policyName(policy);
             }
         }
@@ -232,8 +237,8 @@ reportThroughput(const core::SuiteResults &results, unsigned jobs,
                  "(busy %.2f s; slowest leg %.2f s: %s/%s)\n",
                  legs, wall, jobs, wall > 0 ? legs / wall : 0.0,
                  wall > 0 ? instr / wall / 1e6 : 0.0,
-                 wall > 0 ? busy / wall : 0.0, busy, slowest, slow_trace,
-                 slow_policy);
+                 wall > 0 ? busy / wall : 0.0, busy, slowest,
+                 slow_trace.c_str(), slow_policy.c_str());
 
     if (results.traceStoreEnabled)
         std::fprintf(stderr,
@@ -252,7 +257,8 @@ reportThroughput(const core::SuiteResults &results, unsigned jobs,
             for (std::size_t i = 0; i < seconds.size(); ++i)
                 std::fprintf(stderr, "[sweep]   %-18s %-8s %8.3f\n",
                              results.specs[i].name.c_str(),
-                             frontend::policyName(policy), seconds[i]);
+                             frontend::policyName(policy).c_str(),
+                             seconds[i]);
     }
 }
 

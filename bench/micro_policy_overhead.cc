@@ -228,12 +228,9 @@ BM_LegFused(benchmark::State &state)
     trace::DecodedTrace dec = trace::decodeTrace(benchTrace(), 64, 4);
     frontend::resolveDirectionStream(
         dec, frontend::DirectionKind::HashedPerceptron);
-    const std::vector<frontend::PolicyKind> policies{
-        frontend::PolicyKind::Lru,   frontend::PolicyKind::Random,
-        frontend::PolicyKind::Fifo,  frontend::PolicyKind::Srrip,
-        frontend::PolicyKind::Brrip, frontend::PolicyKind::Drrip,
-        frontend::PolicyKind::Sdbp,  frontend::PolicyKind::Ship,
-        frontend::PolicyKind::Ghrp};
+    const std::vector<frontend::PolicySpec> policies(
+        frontend::allPolicyKinds().begin(),
+        frontend::allPolicyKinds().end());
     for (auto _ : state) {
         benchmark::DoNotOptimize(frontend::simulateFused(
             benchConfig(frontend::PolicyKind::Lru), policies, dec));

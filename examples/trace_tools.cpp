@@ -70,7 +70,8 @@ replay(const core::CliOptions &cli, const std::string &path)
 {
     const trace::Trace tr = trace::readTrace(path);
     frontend::FrontendConfig cfg;
-    cfg.policy = frontend::parsePolicy(cli.getString("policy", "GHRP"));
+    cfg.policy =
+        frontend::parsePolicySpec(cli.getString("policy", "GHRP"));
     cfg.icache = cache::CacheConfig::icache(
         static_cast<std::uint32_t>(cli.getUint("kb", 64)),
         static_cast<std::uint32_t>(cli.getUint("assoc", 8)));

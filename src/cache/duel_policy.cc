@@ -1,0 +1,181 @@
+#include "cache/duel_policy.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace ghrp::cache
+{
+
+namespace
+{
+
+/** Trajectory ring capacity; beyond it the stride doubles and every
+ *  other retained sample is dropped, keeping the buffer bounded while
+ *  staying a deterministic function of the access stream. */
+constexpr std::size_t kTrajectoryCapacity = 128;
+
+} // anonymous namespace
+
+DuelPolicy::DuelPolicy(std::unique_ptr<ReplacementPolicy> a,
+                       std::unique_ptr<ReplacementPolicy> b,
+                       Params params, std::string label)
+    : a(std::move(a)), b(std::move(b)), params(params),
+      label(std::move(label))
+{
+    GHRP_ASSERT(this->a && this->b);
+    GHRP_ASSERT(this->params.pselMax > 0);
+    GHRP_ASSERT(this->params.leaders > 0);
+}
+
+void
+DuelPolicy::reset(std::uint32_t num_sets, std::uint32_t num_ways)
+{
+    a->reset(num_sets, num_ways);
+    b->reset(num_sets, num_ways);
+
+    // Leader assignment mirrors DrripPolicy::reset so the dueling
+    // geometry matches the in-repo DRRIP precedent exactly:
+    // interleave A/B leader pairs through the index space.
+    roles.assign(num_sets, SetRole::Follower);
+    const std::uint32_t leaders =
+        params.leaders * 2 <= num_sets ? params.leaders : num_sets / 2;
+    for (std::uint32_t i = 0; i < leaders; ++i) {
+        const std::uint32_t stride = num_sets / (leaders * 2);
+        const std::uint32_t base = stride > 0 ? stride : 1;
+        const std::uint32_t s1 = (2 * i) * base % num_sets;
+        const std::uint32_t s2 = (2 * i + 1) * base % num_sets;
+        roles[s1] = SetRole::LeaderA;
+        roles[s2] = SetRole::LeaderB;
+    }
+
+    pselValue = 0;
+    lastDead = false;
+    leaderMissesA = 0;
+    leaderMissesB = 0;
+    winnerFlips = 0;
+    sampleStride = 1;
+    sinceSample = 0;
+    trajectory.clear();
+}
+
+DuelPolicy::SetRole
+DuelPolicy::role(std::uint32_t set) const
+{
+    return set < roles.size() ? roles[set] : SetRole::Follower;
+}
+
+ReplacementPolicy &
+DuelPolicy::owner(const AccessInfo &info) const
+{
+    switch (role(info.set)) {
+      case SetRole::LeaderA:
+        return *a;
+      case SetRole::LeaderB:
+        return *b;
+      case SetRole::Follower:
+        break;
+    }
+    return pselValue >= 0 ? *a : *b;
+}
+
+bool
+DuelPolicy::shouldBypass(const AccessInfo &info)
+{
+    // Called on every miss before victim selection — the same
+    // observation point DRRIP uses to steer its PSEL. A miss in an
+    // A-leader set is a vote against A (and vice versa); follower
+    // misses carry no signal.
+    const bool was_a = pselValue >= 0;
+    switch (role(info.set)) {
+      case SetRole::LeaderA:
+        ++leaderMissesA;
+        if (pselValue > -params.pselMax)
+            --pselValue;
+        break;
+      case SetRole::LeaderB:
+        ++leaderMissesB;
+        if (pselValue < params.pselMax)
+            ++pselValue;
+        break;
+      case SetRole::Follower:
+        break;
+    }
+    if (role(info.set) != SetRole::Follower) {
+        if ((pselValue >= 0) != was_a)
+            ++winnerFlips;
+        if (++sinceSample >= sampleStride) {
+            sinceSample = 0;
+            trajectory.push_back(pselValue);
+            if (trajectory.size() > kTrajectoryCapacity) {
+                // Decimate in place: keep every other sample and
+                // double the stride, preserving the full time span.
+                std::size_t w = 0;
+                for (std::size_t r = 0; r < trajectory.size(); r += 2)
+                    trajectory[w++] = trajectory[r];
+                trajectory.resize(w);
+                sampleStride *= 2;
+            }
+        }
+    }
+
+    // Both constituents observe the miss (SDBP trains its sampler
+    // here; DRRIP steers its own internal PSEL), then the set owner's
+    // verdict decides whether the fill is vetoed.
+    const bool bypass_a = a->shouldBypass(info);
+    const bool bypass_b = b->shouldBypass(info);
+    return &owner(info) == a.get() ? bypass_a : bypass_b;
+}
+
+std::uint32_t
+DuelPolicy::chooseVictim(const AccessInfo &info)
+{
+    // Both constituents run their victim scan — SRRIP-family policies
+    // age RRPVs inside chooseVictim, so skipping the loser here would
+    // desynchronize its metadata from the access stream.
+    const std::uint32_t victim_a = a->chooseVictim(info);
+    const std::uint32_t victim_b = b->chooseVictim(info);
+    if (&owner(info) == a.get()) {
+        lastDead = a->lastVictimWasDead();
+        return victim_a;
+    }
+    lastDead = b->lastVictimWasDead();
+    return victim_b;
+}
+
+void
+DuelPolicy::onHit(const AccessInfo &info, std::uint32_t way)
+{
+    a->onHit(info, way);
+    b->onHit(info, way);
+}
+
+void
+DuelPolicy::onFill(const AccessInfo &info, std::uint32_t way)
+{
+    a->onFill(info, way);
+    b->onFill(info, way);
+}
+
+void
+DuelPolicy::onEvict(const AccessInfo &info, std::uint32_t way,
+                    Addr victim_addr)
+{
+    a->onEvict(info, way, victim_addr);
+    b->onEvict(info, way, victim_addr);
+}
+
+DuelTelemetry
+DuelPolicy::telemetry() const
+{
+    DuelTelemetry t;
+    t.finalPsel = pselValue;
+    t.leaderMissesA = leaderMissesA;
+    t.leaderMissesB = leaderMissesB;
+    t.winnerFlips = winnerFlips;
+    t.sampleStride = sampleStride;
+    t.trajectory = trajectory;
+    return t;
+}
+
+} // namespace ghrp::cache

@@ -96,7 +96,9 @@ knownCliFlags()
         {"assoc", "I-cache associativity"},
         {"btb-entries", "BTB entry count"},
         {"btb-assoc", "BTB associativity"},
-        {"policy", "replacement policy name (LRU, SRRIP, GHRP, ...)"},
+        {"policy",
+         "replacement policy: a name (LRU, SRRIP, GHRP, ...) or a "
+         "set-dueling spec duel:<A>,<B>[,psel=N][,leaders=K]"},
         {"category", "workload category for single-trace tools"},
         {"tolerance", "win/similar/worse relative tolerance"},
         {"generate", "trace-tool mode: generate a trace file"},
@@ -137,13 +139,17 @@ knownCliFlags()
         {"seeds",
          "ghrp-client sweep: comma-separated base seeds (one cell each)"},
         {"policies",
-         "ghrp-client sweep: comma-separated policy names per cell"},
+         "ghrp-client sweep: comma-separated policy names or "
+         "duel:<A>,<B> specs per cell"},
         {"shard-attempts",
          "ghrp-client sweep: submit attempts per shard before giving up"},
         {"poll-ms",
          "ghrp-client sweep: fleet poll interval in milliseconds"},
         {"out-dir",
          "ghrp-client sweep: directory for the merged cell reports"},
+        {"duel",
+         "append a duel:<A>,<B> set-dueling leg to the suite's "
+         "policy axis (bench suites)"},
     };
     return flags;
 }

@@ -17,7 +17,7 @@ namespace ghrp::core
 {
 
 std::vector<double>
-SuiteResults::icacheMpki(frontend::PolicyKind policy) const
+SuiteResults::icacheMpki(const frontend::PolicySpec &policy) const
 {
     const auto it = results.find(policy);
     GHRP_ASSERT(it != results.end());
@@ -29,7 +29,7 @@ SuiteResults::icacheMpki(frontend::PolicyKind policy) const
 }
 
 std::vector<double>
-SuiteResults::btbMpki(frontend::PolicyKind policy) const
+SuiteResults::btbMpki(const frontend::PolicySpec &policy) const
 {
     const auto it = results.find(policy);
     GHRP_ASSERT(it != results.end());
@@ -161,7 +161,7 @@ class SweepSink
         : out(out), options(options), progress(progress), hooks(hooks),
           totalUnits(out.specs.size() * options.policies.size())
     {
-        for (frontend::PolicyKind policy : options.policies) {
+        for (const frontend::PolicySpec &policy : options.policies) {
             out.results[policy].resize(out.specs.size());
             out.legSeconds[policy].resize(out.specs.size(), 0.0);
         }
@@ -174,7 +174,7 @@ class SweepSink
      * cancelled legs are silently left for a future resume.
      */
     bool
-    preempted(std::size_t trace_index, frontend::PolicyKind policy)
+    preempted(std::size_t trace_index, const frontend::PolicySpec &policy)
     {
         if (hooks.skipLeg && hooks.skipLeg(trace_index, policy)) {
             tick(trace_index, policy, nullptr, 0.0);
@@ -190,7 +190,7 @@ class SweepSink
     {
         if (!hooks.skipLeg || options.policies.empty())
             return false;
-        for (frontend::PolicyKind policy : options.policies)
+        for (const frontend::PolicySpec &policy : options.policies)
             if (!hooks.skipLeg(trace_index, policy))
                 return false;
         return true;
@@ -200,7 +200,7 @@ class SweepSink
      *  decoded stream is immutable and shared by every leg of its
      *  trace — decoding happened exactly once, upstream. */
     void
-    runLeg(std::size_t trace_index, frontend::PolicyKind policy,
+    runLeg(std::size_t trace_index, const frontend::PolicySpec &policy,
            const trace::DecodedTrace &dec)
     {
         if (preempted(trace_index, policy))
@@ -243,9 +243,9 @@ class SweepSink
     void
     runFusedGroup(std::size_t trace_index, const trace::DecodedTrace &dec)
     {
-        std::vector<frontend::PolicyKind> lanes;
+        std::vector<frontend::PolicySpec> lanes;
         lanes.reserve(options.policies.size());
-        for (frontend::PolicyKind policy : options.policies) {
+        for (const frontend::PolicySpec &policy : options.policies) {
             if (hooks.skipLeg && hooks.skipLeg(trace_index, policy))
                 tick(trace_index, policy, nullptr, 0.0);
             else
@@ -268,7 +268,7 @@ class SweepSink
             elapsed.count() / static_cast<double>(lanes.size());
 
         for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
-            const frontend::PolicyKind policy = lanes[lane];
+            const frontend::PolicySpec &policy = lanes[lane];
             sweepMetrics().legs.add();
             sweepMetrics().legSeconds.observeSeconds(per_lane);
             results[lane].traceName = out.specs[trace_index].name;
@@ -281,7 +281,7 @@ class SweepSink
 
   private:
     void
-    tick(std::size_t trace_index, frontend::PolicyKind policy,
+    tick(std::size_t trace_index, const frontend::PolicySpec &policy,
          const frontend::FrontendResult *result, double seconds)
     {
         std::lock_guard<std::mutex> lock(progressMutex);
@@ -294,7 +294,7 @@ class SweepSink
             sweepMetrics().slowLegs.add();
             warn("slow leg: %s / %s took %.1f ms (threshold %.1f ms)",
                  out.specs[trace_index].name.c_str(),
-                 frontend::policyName(policy), seconds * 1000.0,
+                 frontend::policyName(policy).c_str(), seconds * 1000.0,
                  options.slowLegMs);
         }
         ++done;
@@ -305,7 +305,7 @@ class SweepSink
         else if (options.verbose)
             inform("[%zu/%zu] %s %s", done, totalUnits,
                    out.specs[trace_index].name.c_str(),
-                   frontend::policyName(policy));
+                   frontend::policyName(policy).c_str());
     }
 
     SuiteResults &out;
@@ -421,7 +421,7 @@ runSerial(SweepSink &sink, const SuiteResults &out,
         // A fully-journaled trace never needs acquiring or decoding on
         // resume — tick its legs and move on.
         if (sink.allSkipped(i)) {
-            for (frontend::PolicyKind policy : options.policies)
+            for (const frontend::PolicySpec &policy : options.policies)
                 sink.preempted(i, policy);
             continue;
         }
@@ -435,7 +435,7 @@ runSerial(SweepSink &sink, const SuiteResults &out,
         if (options.fused) {
             sink.runFusedGroup(i, *dec);
         } else {
-            for (frontend::PolicyKind policy : options.policies)
+            for (const frontend::PolicySpec &policy : options.policies)
                 sink.runLeg(i, policy, *dec);
         }
     }
@@ -488,7 +488,7 @@ runParallel(SweepSink &sink, const SuiteResults &out,
     pump(window);
     for (std::size_t i = 0; i < num_traces; ++i) {
         if (elided[i]) {
-            for (frontend::PolicyKind policy : options.policies)
+            for (const frontend::PolicySpec &policy : options.policies)
                 sink.preempted(i, policy);
             pump(i + 1 + window);
             continue;
@@ -508,7 +508,7 @@ runParallel(SweepSink &sink, const SuiteResults &out,
             }));
         } else {
             legs[i].reserve(options.policies.size());
-            for (frontend::PolicyKind policy : options.policies)
+            for (const frontend::PolicySpec &policy : options.policies)
                 legs[i].push_back(submitLeased(
                     pool, throttle, [&sink, i, policy, dec]() {
                         sink.runLeg(i, policy, *dec);

@@ -33,7 +33,7 @@ struct SuiteOptions
     /** Override per-trace dynamic instruction counts (0 = category
      *  default). */
     std::uint64_t instructionOverride = 0;
-    std::vector<frontend::PolicyKind> policies{
+    std::vector<frontend::PolicySpec> policies{
         frontend::paperPolicies,
         frontend::paperPolicies + std::size(frontend::paperPolicies)};
     frontend::FrontendConfig base;  ///< policy field is overridden
@@ -89,13 +89,13 @@ struct SuiteResults
 {
     std::vector<workload::TraceSpec> specs;
     /** results[policy][trace index] */
-    std::map<frontend::PolicyKind, std::vector<frontend::FrontendResult>>
+    std::map<frontend::PolicySpec, std::vector<frontend::FrontendResult>>
         results;
 
     /** Wall-clock seconds each leg spent simulating its decoded
      *  stream: legSeconds[policy][trace index]. Timing only — excluded
      *  from the determinism guarantee. */
-    std::map<frontend::PolicyKind, std::vector<double>> legSeconds;
+    std::map<frontend::PolicySpec, std::vector<double>> legSeconds;
     /** End-to-end wall-clock seconds for the whole sweep. */
     double wallSeconds = 0.0;
 
@@ -111,10 +111,10 @@ struct SuiteResults
     std::uint64_t simulatedInstructions() const;
 
     /** Per-trace I-cache MPKI series for @p policy. */
-    std::vector<double> icacheMpki(frontend::PolicyKind policy) const;
+    std::vector<double> icacheMpki(const frontend::PolicySpec &policy) const;
 
     /** Per-trace BTB MPKI series for @p policy. */
-    std::vector<double> btbMpki(frontend::PolicyKind policy) const;
+    std::vector<double> btbMpki(const frontend::PolicySpec &policy) const;
 
     /** Arithmetic mean over traces of a per-trace series. */
     static double mean(const std::vector<double> &series);
@@ -174,7 +174,7 @@ struct RunHooks
      * (trace index, policy): it is consulted from worker threads and
      * may be called more than once per leg.
      */
-    std::function<bool(std::size_t, frontend::PolicyKind)> skipLeg;
+    std::function<bool(std::size_t, const frontend::PolicySpec &)> skipLeg;
 
     /**
      * Invoked after every simulated (not skipped) leg with its results
@@ -183,7 +183,7 @@ struct RunHooks
      * without further locking. Completion order is scheduling-
      * dependent.
      */
-    std::function<void(std::size_t, frontend::PolicyKind,
+    std::function<void(std::size_t, const frontend::PolicySpec &,
                        const frontend::FrontendResult &, double)>
         onLegDone;
 

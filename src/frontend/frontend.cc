@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <tuple>
 
 #include "branch/perceptron.hh"
 #include "cache/basic_policies.hh"
@@ -33,35 +34,220 @@ policyName(PolicyKind kind)
         return "SHiP";
       case PolicyKind::Ghrp:
         return "GHRP";
+      case PolicyKind::Duel:
+        return "duel";  // bare kind; specs render via policyName(spec)
     }
     return "unknown";
 }
 
-PolicyKind
-parsePolicy(const std::string &name)
+namespace
+{
+
+/** Case-insensitive static-kind lookup; false on unknown (or "duel",
+ *  which is only valid as a full PolicySpec). */
+bool
+tryParseKind(const std::string &name, PolicyKind &out)
 {
     std::string upper(name);
     std::transform(upper.begin(), upper.end(), upper.begin(),
                    [](unsigned char c) { return std::toupper(c); });
-    if (upper == "LRU")
-        return PolicyKind::Lru;
-    if (upper == "RANDOM")
-        return PolicyKind::Random;
-    if (upper == "FIFO")
-        return PolicyKind::Fifo;
-    if (upper == "SRRIP")
-        return PolicyKind::Srrip;
-    if (upper == "BRRIP")
-        return PolicyKind::Brrip;
-    if (upper == "DRRIP")
-        return PolicyKind::Drrip;
-    if (upper == "SDBP")
-        return PolicyKind::Sdbp;
-    if (upper == "SHIP")
-        return PolicyKind::Ship;
-    if (upper == "GHRP")
-        return PolicyKind::Ghrp;
-    fatal("unknown replacement policy '%s'", name.c_str());
+    for (PolicyKind kind : allPolicyKinds()) {
+        std::string candidate(policyName(kind));
+        std::transform(candidate.begin(), candidate.end(),
+                       candidate.begin(),
+                       [](unsigned char c) { return std::toupper(c); });
+        if (upper == candidate) {
+            out = kind;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // anonymous namespace
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    PolicyKind kind;
+    if (!tryParseKind(name, kind))
+        fatal("unknown replacement policy '%s'", name.c_str());
+    return kind;
+}
+
+const std::vector<PolicyKind> &
+allPolicyKinds()
+{
+    static const std::vector<PolicyKind> kinds = {
+        PolicyKind::Lru,   PolicyKind::Random, PolicyKind::Fifo,
+        PolicyKind::Srrip, PolicyKind::Brrip,  PolicyKind::Drrip,
+        PolicyKind::Sdbp,  PolicyKind::Ship,   PolicyKind::Ghrp};
+    return kinds;
+}
+
+namespace
+{
+
+/** Normalized comparison key: non-duel specs ignore the duel fields,
+ *  so PolicySpec(kind) equals any spec of the same kind. */
+std::tuple<int, int, int, std::uint32_t, std::uint32_t>
+specKey(const PolicySpec &s)
+{
+    const bool d = s.isDuel();
+    return {static_cast<int>(s.kind),
+            d ? static_cast<int>(s.duelA) : 0,
+            d ? static_cast<int>(s.duelB) : 0, d ? s.duelPselMax : 0,
+            d ? s.duelLeaders : 0};
+}
+
+} // anonymous namespace
+
+bool
+operator==(const PolicySpec &a, const PolicySpec &b)
+{
+    return specKey(a) == specKey(b);
+}
+
+bool
+operator<(const PolicySpec &a, const PolicySpec &b)
+{
+    return specKey(a) < specKey(b);
+}
+
+std::string
+policyName(const PolicySpec &spec)
+{
+    if (!spec.isDuel())
+        return policyName(spec.kind);
+    const PolicySpec defaults;
+    std::string out = std::string("duel:") + policyName(spec.duelA) +
+                      "," + policyName(spec.duelB);
+    if (spec.duelPselMax != defaults.duelPselMax)
+        out += ",psel=" + std::to_string(spec.duelPselMax);
+    if (spec.duelLeaders != defaults.duelLeaders)
+        out += ",leaders=" + std::to_string(spec.duelLeaders);
+    return out;
+}
+
+bool
+tryParsePolicySpec(const std::string &name, PolicySpec &out)
+{
+    std::string lower(name);
+    std::transform(lower.begin(), lower.end(), lower.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (lower.rfind("duel:", 0) != 0) {
+        PolicyKind kind;
+        if (!tryParseKind(name, kind))
+            return false;
+        out = PolicySpec(kind);
+        return true;
+    }
+
+    // duel:<A>,<B>[,psel=N][,leaders=K]
+    std::vector<std::string> tokens;
+    std::string rest = name.substr(5);
+    std::size_t begin = 0;
+    while (begin <= rest.size()) {
+        const std::size_t comma = rest.find(',', begin);
+        tokens.push_back(rest.substr(
+            begin, comma == std::string::npos ? comma : comma - begin));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+    if (tokens.size() < 2)
+        return false;
+
+    PolicySpec spec;
+    spec.kind = PolicyKind::Duel;
+    if (!tryParseKind(tokens[0], spec.duelA) ||
+        !tryParseKind(tokens[1], spec.duelB))
+        return false;
+    for (std::size_t i = 2; i < tokens.size(); ++i) {
+        std::string key(tokens[i]);
+        std::transform(key.begin(), key.end(), key.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        const std::size_t eq = key.find('=');
+        if (eq == std::string::npos)
+            return false;
+        const std::string value = key.substr(eq + 1);
+        if (value.empty() ||
+            value.find_first_not_of("0123456789") != std::string::npos)
+            return false;
+        const unsigned long parsed = std::stoul(value);
+        if (parsed == 0 || parsed > 1u << 20)
+            return false;
+        if (key.compare(0, eq, "psel") == 0)
+            spec.duelPselMax = static_cast<std::uint32_t>(parsed);
+        else if (key.compare(0, eq, "leaders") == 0)
+            spec.duelLeaders = static_cast<std::uint32_t>(parsed);
+        else
+            return false;
+    }
+    out = spec;
+    return true;
+}
+
+PolicySpec
+parsePolicySpec(const std::string &name)
+{
+    PolicySpec spec;
+    if (!tryParsePolicySpec(name, spec))
+        fatal("unknown replacement policy '%s' (expected a policy name "
+              "or duel:<A>,<B>[,psel=N][,leaders=K])",
+              name.c_str());
+    return spec;
+}
+
+std::vector<PolicySpec>
+parsePolicyList(const std::string &csv)
+{
+    std::vector<std::string> tokens;
+    std::size_t begin = 0;
+    while (begin <= csv.size()) {
+        const std::size_t comma = csv.find(',', begin);
+        std::string token = csv.substr(
+            begin, comma == std::string::npos ? comma : comma - begin);
+        const std::size_t first = token.find_first_not_of(" \t");
+        if (first == std::string::npos) {
+            token.clear();
+        } else {
+            const std::size_t last = token.find_last_not_of(" \t");
+            token = token.substr(first, last - first + 1);
+        }
+        if (!token.empty())
+            tokens.push_back(std::move(token));
+        if (comma == std::string::npos)
+            break;
+        begin = comma + 1;
+    }
+
+    const auto isLowerPrefix = [](const std::string &token,
+                                  const char *prefix) {
+        std::string lower(token);
+        std::transform(lower.begin(), lower.end(), lower.begin(),
+                       [](unsigned char c) { return std::tolower(c); });
+        return lower.rfind(prefix, 0) == 0;
+    };
+
+    std::vector<PolicySpec> out;
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+        if (!isLowerPrefix(tokens[i], "duel:")) {
+            out.push_back(parsePolicySpec(tokens[i]));
+            continue;
+        }
+        // A duel spec spans commas: rejoin its second constituent and
+        // any psel=/leaders= parameters before parsing.
+        std::string spec = tokens[i];
+        if (i + 1 < tokens.size())
+            spec += "," + tokens[++i];
+        while (i + 1 < tokens.size() &&
+               (isLowerPrefix(tokens[i + 1], "psel=") ||
+                isLowerPrefix(tokens[i + 1], "leaders=")))
+            spec += "," + tokens[++i];
+        out.push_back(parsePolicySpec(spec));
+    }
+    return out;
 }
 
 namespace
@@ -105,6 +291,9 @@ makeBasicPolicy(PolicyKind kind, const predictor::SdbpConfig &sdbp,
         return std::make_unique<predictor::ShipReplacement>(ship);
       case PolicyKind::Ghrp:
         panic("GHRP is constructed by the front-end, not the factory");
+      case PolicyKind::Duel:
+        panic("duel specs are constructed by the front-end, not the "
+              "factory");
     }
     panic("unknown policy kind");
 }
@@ -113,31 +302,70 @@ makeBasicPolicy(PolicyKind kind, const predictor::SdbpConfig &sdbp,
 
 FrontendSim::FrontendSim(const FrontendConfig &config) : cfg(config)
 {
-    if (cfg.policy == PolicyKind::Ghrp) {
+    // One shared dead-block predictor whenever GHRP participates,
+    // whether as the whole policy or as one duel constituent.
+    if (cfg.policy.involvesGhrp())
         ghrpPredictor =
             std::make_unique<predictor::GhrpPredictor>(cfg.ghrp);
-        auto icache_policy =
-            std::make_unique<predictor::GhrpReplacement>(*ghrpPredictor);
-        icacheGhrp = icache_policy.get();
-        icache = std::make_unique<cache::CacheModel<cache::NoPayload>>(
-            cfg.icache, std::move(icache_policy));
-        if (cfg.ghrpDedicatedBtb) {
-            btb = std::make_unique<branch::Btb>(
-                cfg.btb,
-                std::make_unique<predictor::GhrpBtbDedicated>(cfg.ghrp));
-        } else {
-            btb = std::make_unique<branch::Btb>(
-                cfg.btb,
-                std::make_unique<predictor::GhrpBtbReplacement>(
-                    *ghrpPredictor, *icacheGhrp, *icache));
+
+    // I-cache constituents use the same instance seed the single-
+    // policy path uses, so duel:X,X is bit-identical to plain X for
+    // every self-contained policy.
+    const auto makeIcachePolicy =
+        [&](PolicyKind kind) -> std::unique_ptr<cache::ReplacementPolicy> {
+        if (kind == PolicyKind::Ghrp) {
+            auto policy = std::make_unique<predictor::GhrpReplacement>(
+                *ghrpPredictor);
+            icacheGhrp = policy.get();
+            return policy;
         }
+        return makeBasicPolicy(kind, cfg.sdbp, cfg.ship, 0x1CACE);
+    };
+
+    if (cfg.policy.isDuel()) {
+        const cache::DuelPolicy::Params params{
+            static_cast<std::int64_t>(cfg.policy.duelPselMax),
+            cfg.policy.duelLeaders};
+        auto duel = std::make_unique<cache::DuelPolicy>(
+            makeIcachePolicy(cfg.policy.duelA),
+            makeIcachePolicy(cfg.policy.duelB), params,
+            policyName(cfg.policy));
+        icacheDuel = duel.get();
+        icache = std::make_unique<cache::CacheModel<cache::NoPayload>>(
+            cfg.icache, std::move(duel));
     } else {
         icache = std::make_unique<cache::CacheModel<cache::NoPayload>>(
-            cfg.icache,
-            makeBasicPolicy(cfg.policy, cfg.sdbp, cfg.ship, 0x1CACE));
+            cfg.icache, makeIcachePolicy(cfg.policy.kind));
+    }
+
+    // BTB constituents: the GHRP one couples to the I-cache GHRP
+    // metadata (or runs stand-alone under the dedicated-BTB ablation),
+    // exactly as in a pure-GHRP run. The I-cache model exists by now.
+    const auto makeBtbPolicy =
+        [&](PolicyKind kind) -> std::unique_ptr<cache::ReplacementPolicy> {
+        if (kind == PolicyKind::Ghrp) {
+            if (cfg.ghrpDedicatedBtb)
+                return std::make_unique<predictor::GhrpBtbDedicated>(
+                    cfg.ghrp);
+            return std::make_unique<predictor::GhrpBtbReplacement>(
+                *ghrpPredictor, *icacheGhrp, *icache);
+        }
+        return makeBasicPolicy(kind, cfg.sdbp, cfg.ship, 0xB7B);
+    };
+
+    if (cfg.policy.isDuel()) {
+        const cache::DuelPolicy::Params params{
+            static_cast<std::int64_t>(cfg.policy.duelPselMax),
+            cfg.policy.duelLeaders};
+        auto duel = std::make_unique<cache::DuelPolicy>(
+            makeBtbPolicy(cfg.policy.duelA),
+            makeBtbPolicy(cfg.policy.duelB), params,
+            policyName(cfg.policy));
+        btbDuel = duel.get();
+        btb = std::make_unique<branch::Btb>(cfg.btb, std::move(duel));
+    } else {
         btb = std::make_unique<branch::Btb>(
-            cfg.btb, makeBasicPolicy(cfg.policy, cfg.sdbp, cfg.ship,
-                                     0xB7B));
+            cfg.btb, makeBtbPolicy(cfg.policy.kind));
     }
 
     direction = makeDirection(cfg.direction);
@@ -320,6 +548,13 @@ FrontendSim::finishRun()
     result.icacheMpki = result.icache.mpki(result.measuredInstructions);
     result.btbMpki = result.btb.mpki(result.measuredInstructions);
 
+    if (icacheDuel) {
+        result.hasDuel = true;
+        result.icacheDuel = icacheDuel->telemetry();
+    }
+    if (btbDuel)
+        result.btbDuel = btbDuel->telemetry();
+
     if (icacheEff)
         icacheEff->finalize(icache->ticks());
     if (btbEff)
@@ -469,6 +704,13 @@ FrontendSim::runWalker(const trace::Trace &tr)
     result.btb = btb->accessStats();
     result.icacheMpki = result.icache.mpki(result.measuredInstructions);
     result.btbMpki = result.btb.mpki(result.measuredInstructions);
+
+    if (icacheDuel) {
+        result.hasDuel = true;
+        result.icacheDuel = icacheDuel->telemetry();
+    }
+    if (btbDuel)
+        result.btbDuel = btbDuel->telemetry();
 
     if (icacheEff)
         icacheEff->finalize(icache->ticks());

@@ -12,6 +12,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "branch/btb.hh"
 #include "branch/direction.hh"
@@ -19,6 +20,7 @@
 #include "branch/ras.hh"
 #include "cache/cache.hh"
 #include "cache/config.hh"
+#include "cache/duel_policy.hh"
 #include "predictor/ghrp.hh"
 #include "predictor/sdbp.hh"
 #include "predictor/ship.hh"
@@ -40,19 +42,89 @@ enum class PolicyKind : std::uint8_t
     Drrip,
     Sdbp,
     Ship,  ///< SHiP [Wu et al. 2011], extension baseline
-    Ghrp
+    Ghrp,
+    /** Set-dueling meta-policy composing two of the kinds above; must
+     *  stay the LAST enumerator so duel legs sort after every static
+     *  policy in result maps and report leg order. Parameterized by
+     *  PolicySpec, never used bare. */
+    Duel
 };
 
 /** Display name ("LRU", "GHRP", ...). */
 const char *policyName(PolicyKind kind);
 
-/** Parse a policy name (case-insensitive); fatal() on error. */
+/** Parse a static policy name (case-insensitive); fatal() on error.
+ *  Rejects "duel:..." specs — use parsePolicySpec for those. */
 PolicyKind parsePolicy(const std::string &name);
 
 /** The five policies evaluated in the paper's figures. */
 inline constexpr PolicyKind paperPolicies[] = {
     PolicyKind::Lru, PolicyKind::Random, PolicyKind::Srrip,
     PolicyKind::Sdbp, PolicyKind::Ghrp};
+
+/** Every static (non-meta) policy kind, in registry order. */
+const std::vector<PolicyKind> &allPolicyKinds();
+
+/**
+ * One entry of a suite's policy axis: a static policy kind, or a
+ * `duel:<A>,<B>[,psel=N,leaders=K]` set-dueling spec composing two
+ * static kinds. Implicitly convertible from PolicyKind so existing
+ * call sites (result-map lookups, config assignment) keep compiling;
+ * the duel parameters are meaningful only when kind == Duel and are
+ * ignored by comparison/naming otherwise.
+ */
+struct PolicySpec
+{
+    PolicyKind kind = PolicyKind::Lru;
+    PolicyKind duelA = PolicyKind::Ghrp;  ///< leader-set policy A
+    PolicyKind duelB = PolicyKind::Lru;   ///< leader-set policy B
+    std::uint32_t duelPselMax = 1023;     ///< PSEL saturation bound
+    std::uint32_t duelLeaders = 32;       ///< leader sets per policy
+
+    PolicySpec() = default;
+    /*implicit*/ PolicySpec(PolicyKind k) : kind(k) {}
+
+    bool isDuel() const { return kind == PolicyKind::Duel; }
+
+    /** True when any constituent (or the spec itself) is GHRP, i.e.
+     *  the front-end must build the shared dead-block predictor. */
+    bool
+    involvesGhrp() const
+    {
+        if (kind == PolicyKind::Ghrp)
+            return true;
+        return isDuel() && (duelA == PolicyKind::Ghrp ||
+                            duelB == PolicyKind::Ghrp);
+    }
+};
+
+bool operator==(const PolicySpec &a, const PolicySpec &b);
+bool operator<(const PolicySpec &a, const PolicySpec &b);
+inline bool
+operator!=(const PolicySpec &a, const PolicySpec &b)
+{
+    return !(a == b);
+}
+
+/** Canonical display name: the kind's name, or "duel:GHRP,LRU" with
+ *  ",psel=N" / ",leaders=K" suffixes only when non-default. */
+std::string policyName(const PolicySpec &spec);
+
+/** Parse a policy name or duel spec; fatal() on error. */
+PolicySpec parsePolicySpec(const std::string &name);
+
+/** Non-fatal parse for daemons/report readers: returns false instead
+ *  of exiting on an unknown name or malformed duel spec. */
+bool tryParsePolicySpec(const std::string &name, PolicySpec &out);
+
+/**
+ * Parse a comma-separated policy list, duel-aware: a `duel:` token
+ * absorbs the following token (its second constituent) plus any
+ * subsequent `psel=` / `leaders=` tokens, so "GHRP,duel:GHRP,LRU,
+ * psel=511,SRRIP" yields {GHRP, duel:GHRP,LRU,psel=511, SRRIP}.
+ * fatal() on error.
+ */
+std::vector<PolicySpec> parsePolicyList(const std::string &csv);
 
 /** Direction predictors available to the front-end. */
 enum class DirectionKind : std::uint8_t
@@ -67,7 +139,7 @@ struct FrontendConfig
 {
     cache::CacheConfig icache = cache::CacheConfig::icache(64, 8);
     cache::CacheConfig btb = cache::CacheConfig::btb(4096, 4);
-    PolicyKind policy = PolicyKind::Lru;
+    PolicySpec policy = PolicyKind::Lru;
     DirectionKind direction = DirectionKind::HashedPerceptron;
 
     predictor::GhrpConfig ghrp;
@@ -137,6 +209,12 @@ struct FrontendResult
     std::uint64_t rasMispredicts = 0;
     std::uint64_t indirectBranches = 0;      ///< taken indirect branches
     std::uint64_t indirectMispredicts = 0;   ///< wrong/missing target
+
+    /** Set-dueling statistics, present only when the leg ran a
+     *  duel:<A>,<B> meta-policy (hasDuel). */
+    bool hasDuel = false;
+    cache::DuelTelemetry icacheDuel;
+    cache::DuelTelemetry btbDuel;
 
     /** Indirect target mispredictions per 1000 instructions. */
     double
@@ -216,6 +294,8 @@ class FrontendSim
 
     std::unique_ptr<predictor::GhrpPredictor> ghrpPredictor;
     predictor::GhrpReplacement *icacheGhrp = nullptr;  ///< borrowed
+    cache::DuelPolicy *icacheDuel = nullptr;           ///< borrowed
+    cache::DuelPolicy *btbDuel = nullptr;              ///< borrowed
 
     std::unique_ptr<cache::CacheModel<cache::NoPayload>> icache;
     std::unique_ptr<branch::Btb> btb;

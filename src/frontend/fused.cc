@@ -6,10 +6,10 @@ namespace ghrp::frontend
 {
 
 FusedSim::FusedSim(const FrontendConfig &base,
-                   const std::vector<PolicyKind> &policies)
+                   const std::vector<PolicySpec> &policies)
 {
     lanes.reserve(policies.size());
-    for (PolicyKind policy : policies) {
+    for (const PolicySpec &policy : policies) {
         FrontendConfig cfg = base;
         cfg.policy = policy;
         lanes.push_back(std::make_unique<FrontendSim>(cfg));
@@ -43,7 +43,7 @@ FusedSim::run(const trace::DecodedTrace &decoded)
 
 std::vector<FrontendResult>
 simulateFused(const FrontendConfig &base,
-              const std::vector<PolicyKind> &policies,
+              const std::vector<PolicySpec> &policies,
               const trace::DecodedTrace &decoded)
 {
     FusedSim sim(base, policies);

@@ -47,7 +47,7 @@ class FusedSim
     static constexpr std::size_t kChunkRecords = 2048;
 
     FusedSim(const FrontendConfig &base,
-             const std::vector<PolicyKind> &policies);
+             const std::vector<PolicySpec> &policies);
 
     /** Number of lanes. */
     std::size_t numLanes() const { return lanes.size(); }
@@ -70,7 +70,7 @@ class FusedSim
  */
 std::vector<FrontendResult>
 simulateFused(const FrontendConfig &base,
-              const std::vector<PolicyKind> &policies,
+              const std::vector<PolicySpec> &policies,
               const trace::DecodedTrace &decoded);
 
 } // namespace ghrp::frontend

@@ -127,6 +127,35 @@ metricsTable(const RunReport &report)
     return table.renderMarkdown();
 }
 
+/** Oracle upper bound + dueling-vs-oracle lines (schema minor 3).
+ *  Empty when extras.oracle is absent, so pre-dueling reports render
+ *  byte-identically. */
+std::string
+oracleLines(const RunReport &report)
+{
+    const Json *oracle = report.extras.find("oracle");
+    if (!oracle)
+        return "";
+    std::string out =
+        "\nOracle (per-trace best static): I-cache " +
+        mpkiCell(oracle->at("icache").at("meanMpki").asDouble()) +
+        " MPKI, BTB " +
+        mpkiCell(oracle->at("btb").at("meanMpki").asDouble()) +
+        " MPKI\n";
+    if (const Json *dueling = report.extras.find("dueling")) {
+        for (const auto &[name, d] : dueling->asObject()) {
+            const Json *icache_pct = d.at("icache").find("vsOraclePct");
+            const Json *btb_pct = d.at("btb").find("vsOraclePct");
+            if (!icache_pct || !btb_pct)
+                continue;
+            out += name + " vs oracle: I-cache " +
+                   fmt("%+.1f%%", icache_pct->asDouble()) + ", BTB " +
+                   fmt("%+.1f%%", btb_pct->asDouble()) + "\n";
+        }
+    }
+    return out;
+}
+
 } // anonymous namespace
 
 std::string
@@ -156,7 +185,7 @@ renderBlock(const RunReport &report)
     else
         table = metricsTable(report);
     return beginMarker(report.experiment) + "\n" + table +
-           endMarker(report.experiment);
+           oracleLines(report) + endMarker(report.experiment);
 }
 
 bool

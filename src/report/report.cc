@@ -143,6 +143,36 @@ counterSetFromJson(const Json &j)
     return c;
 }
 
+Json
+duelStatsToJson(const DuelStats &d)
+{
+    Json j = Json::object();
+    j.set("finalPsel", d.finalPsel);
+    j.set("leaderMissesA", d.leaderMissesA);
+    j.set("leaderMissesB", d.leaderMissesB);
+    j.set("winnerFlips", d.winnerFlips);
+    j.set("sampleStride", d.sampleStride);
+    Json traj = Json::array();
+    for (std::int64_t v : d.trajectory)
+        traj.push(v);
+    j.set("trajectory", std::move(traj));
+    return j;
+}
+
+DuelStats
+duelStatsFromJson(const Json &j)
+{
+    DuelStats d;
+    d.finalPsel = j.at("finalPsel").asInt();
+    d.leaderMissesA = j.at("leaderMissesA").asUint();
+    d.leaderMissesB = j.at("leaderMissesB").asUint();
+    d.winnerFlips = j.at("winnerFlips").asUint();
+    d.sampleStride = j.at("sampleStride").asUint();
+    for (const Json &v : j.at("trajectory").asArray())
+        d.trajectory.push_back(v.asInt());
+    return d;
+}
+
 } // anonymous namespace
 
 Json
@@ -171,6 +201,15 @@ legToJson(const Leg &leg)
     branch.set("indirectBranches", leg.indirectBranches);
     branch.set("indirectMispredicts", leg.indirectMispredicts);
     j.set("branch", std::move(branch));
+
+    // Schema minor 3: emitted only for duel legs so pre-dueling
+    // documents serialize byte-identically.
+    if (leg.hasDuel) {
+        Json duel = Json::object();
+        duel.set("icache", duelStatsToJson(leg.duelIcache));
+        duel.set("btb", duelStatsToJson(leg.duelBtb));
+        j.set("duel", std::move(duel));
+    }
     return j;
 }
 
@@ -198,6 +237,11 @@ legFromJson(const Json &j)
         leg.indirectBranches = branch.at("indirectBranches").asUint();
         leg.indirectMispredicts =
             branch.at("indirectMispredicts").asUint();
+        if (const Json *duel = j.find("duel")) {
+            leg.hasDuel = true;
+            leg.duelIcache = duelStatsFromJson(duel->at("icache"));
+            leg.duelBtb = duelStatsFromJson(duel->at("btb"));
+        }
         return leg;
     } catch (const JsonError &e) {
         throw ReportError(std::string("malformed leg: ") + e.what());
@@ -525,6 +569,22 @@ makeLeg(const std::string &trace, const std::string &label,
     leg.rasMispredicts = result.rasMispredicts;
     leg.indirectBranches = result.indirectBranches;
     leg.indirectMispredicts = result.indirectMispredicts;
+
+    const auto duel = [](const cache::DuelTelemetry &t) {
+        DuelStats d;
+        d.finalPsel = t.finalPsel;
+        d.leaderMissesA = t.leaderMissesA;
+        d.leaderMissesB = t.leaderMissesB;
+        d.winnerFlips = t.winnerFlips;
+        d.sampleStride = t.sampleStride;
+        d.trajectory = t.trajectory;
+        return d;
+    };
+    leg.hasDuel = result.hasDuel;
+    if (result.hasDuel) {
+        leg.duelIcache = duel(result.icacheDuel);
+        leg.duelBtb = duel(result.btbDuel);
+    }
     return leg;
 }
 
@@ -560,6 +620,22 @@ toFrontendResult(const Leg &leg)
     result.rasMispredicts = leg.rasMispredicts;
     result.indirectBranches = leg.indirectBranches;
     result.indirectMispredicts = leg.indirectMispredicts;
+
+    const auto duel = [](const DuelStats &d) {
+        cache::DuelTelemetry t;
+        t.finalPsel = d.finalPsel;
+        t.leaderMissesA = d.leaderMissesA;
+        t.leaderMissesB = d.leaderMissesB;
+        t.winnerFlips = d.winnerFlips;
+        t.sampleStride = d.sampleStride;
+        t.trajectory = d.trajectory;
+        return t;
+    };
+    result.hasDuel = leg.hasDuel;
+    if (leg.hasDuel) {
+        result.icacheDuel = duel(leg.duelIcache);
+        result.btbDuel = duel(leg.duelBtb);
+    }
     return result;
 }
 
@@ -591,19 +667,13 @@ cacheConfigFromJson(const Json &j)
 
 /** Reverse of frontend::policyName that throws instead of fatal()ing,
  *  so a serving daemon can reject a malformed job and keep running. */
-frontend::PolicyKind
+frontend::PolicySpec
 policyFromName(const std::string &name)
 {
-    static constexpr frontend::PolicyKind kAll[] = {
-        frontend::PolicyKind::Lru,   frontend::PolicyKind::Random,
-        frontend::PolicyKind::Fifo,  frontend::PolicyKind::Srrip,
-        frontend::PolicyKind::Brrip, frontend::PolicyKind::Drrip,
-        frontend::PolicyKind::Sdbp,  frontend::PolicyKind::Ship,
-        frontend::PolicyKind::Ghrp};
-    for (frontend::PolicyKind kind : kAll)
-        if (name == frontend::policyName(kind))
-            return kind;
-    throw ReportError("unknown policy '" + name + "'");
+    frontend::PolicySpec spec;
+    if (!frontend::tryParsePolicySpec(name, spec))
+        throw ReportError("unknown policy '" + name + "'");
+    return spec;
 }
 
 frontend::DirectionKind
@@ -632,7 +702,7 @@ suiteOptionsToJson(const core::SuiteOptions &options)
     j.set("fused", options.fused);
     j.set("traceCacheDir", options.traceCacheDir);
     Json policies = Json::array();
-    for (frontend::PolicyKind policy : options.policies)
+    for (const frontend::PolicySpec &policy : options.policies)
         policies.push(frontend::policyName(policy));
     j.set("policies", std::move(policies));
     j.set("icache", cacheConfigToJson(options.base.icache));
@@ -764,7 +834,7 @@ buildSuiteReport(const std::string &experiment,
         has_lru ? results.btbMpki(frontend::PolicyKind::Lru)
                 : std::vector<double>{};
 
-    for (frontend::PolicyKind policy : options.policies) {
+    for (const frontend::PolicySpec &policy : options.policies) {
         if (!results.results.count(policy))
             continue;
         PolicySummary summary;
@@ -778,6 +848,130 @@ buildSuiteReport(const std::string &experiment,
             summary.btbVsLru = relStats(btb, lru_btb);
         }
         report.policies.push_back(std::move(summary));
+    }
+
+    // ---- oracle + dueling extras (schema minor 3) ----------------
+    // Both subtrees are pure functions of the per-leg counters above,
+    // so reports rebuilt from journals or merged from shards carry
+    // them bit-identically. The oracle is deliberately NOT a policy
+    // row: diff/gate tooling matches PolicySummary rows by name and
+    // must not see a synthetic policy appear.
+    std::vector<frontend::PolicySpec> static_policies;
+    std::vector<frontend::PolicySpec> duel_policies;
+    for (const frontend::PolicySpec &policy : options.policies) {
+        if (!results.results.count(policy))
+            continue;
+        (policy.isDuel() ? duel_policies : static_policies)
+            .push_back(policy);
+    }
+
+    std::vector<double> oracle_icache;
+    std::vector<double> oracle_btb;
+    // A single static policy IS its own oracle — only synthesize the
+    // aggregate when the per-trace best can differ from a policy row
+    // (>= 2 statics) or a dueling row needs its upper bound.
+    const bool want_oracle =
+        static_policies.size() >= 2 ||
+        (!static_policies.empty() && !duel_policies.empty());
+    if (want_oracle) {
+        // Per-trace best static policy: the upper bound a perfect
+        // dynamic selector (always picking the winning constituent,
+        // per trace) could reach with this policy set.
+        const auto oracleOf =
+            [&](const std::function<std::vector<double>(
+                    const frontend::PolicySpec &)> &series,
+                std::vector<double> &minima) {
+                std::vector<std::vector<double>> all;
+                all.reserve(static_policies.size());
+                for (const frontend::PolicySpec &policy : static_policies)
+                    all.push_back(series(policy));
+                Json per_trace = Json::array();
+                for (std::size_t t = 0; t < results.specs.size(); ++t) {
+                    std::size_t best = 0;
+                    for (std::size_t p = 1; p < all.size(); ++p)
+                        if (all[p][t] < all[best][t])
+                            best = p;  // ties keep the first in order
+                    minima.push_back(all[best][t]);
+                    Json row = Json::object();
+                    row.set("trace", results.specs[t].name);
+                    row.set("policy", frontend::policyName(
+                                          static_policies[best]));
+                    row.set("mpki", all[best][t]);
+                    per_trace.push(std::move(row));
+                }
+                Json s = Json::object();
+                s.set("meanMpki", core::SuiteResults::mean(minima));
+                s.set("perTrace", std::move(per_trace));
+                return s;
+            };
+
+        Json oracle = Json::object();
+        Json names = Json::array();
+        for (const frontend::PolicySpec &policy : static_policies)
+            names.push(frontend::policyName(policy));
+        oracle.set("staticPolicies", std::move(names));
+        oracle.set("icache",
+                   oracleOf([&](const frontend::PolicySpec &p) {
+                       return results.icacheMpki(p);
+                   }, oracle_icache));
+        oracle.set("btb", oracleOf([&](const frontend::PolicySpec &p) {
+                       return results.btbMpki(p);
+                   }, oracle_btb));
+        report.extras.set("oracle", std::move(oracle));
+    }
+
+    if (!duel_policies.empty()) {
+        const auto duelJson = [](const cache::DuelTelemetry &t) {
+            DuelStats d;
+            d.finalPsel = t.finalPsel;
+            d.leaderMissesA = t.leaderMissesA;
+            d.leaderMissesB = t.leaderMissesB;
+            d.winnerFlips = t.winnerFlips;
+            d.sampleStride = t.sampleStride;
+            d.trajectory = t.trajectory;
+            return duelStatsToJson(d);
+        };
+        const auto structureJson = [&](double mean_mpki,
+                                       const std::vector<double> &oracle) {
+            Json s = Json::object();
+            s.set("meanMpki", mean_mpki);
+            if (!oracle.empty()) {
+                const double oracle_mean =
+                    core::SuiteResults::mean(oracle);
+                s.set("oracleMeanMpki", oracle_mean);
+                s.set("vsOraclePct",
+                      oracle_mean > 0.0
+                          ? (mean_mpki - oracle_mean) / oracle_mean *
+                                100.0
+                          : 0.0);
+            }
+            return s;
+        };
+
+        Json dueling = Json::object();
+        for (const frontend::PolicySpec &policy : duel_policies) {
+            const std::vector<frontend::FrontendResult> &runs =
+                results.results.at(policy);
+            Json d = Json::object();
+            d.set("icache",
+                  structureJson(core::SuiteResults::mean(
+                                    results.icacheMpki(policy)),
+                                oracle_icache));
+            d.set("btb", structureJson(core::SuiteResults::mean(
+                                           results.btbMpki(policy)),
+                                       oracle_btb));
+            Json per_trace = Json::array();
+            for (std::size_t t = 0; t < runs.size(); ++t) {
+                Json row = Json::object();
+                row.set("trace", results.specs[t].name);
+                row.set("icache", duelJson(runs[t].icacheDuel));
+                row.set("btb", duelJson(runs[t].btbDuel));
+                per_trace.push(std::move(row));
+            }
+            d.set("perTrace", std::move(per_trace));
+            dueling.set(frontend::policyName(policy), std::move(d));
+        }
+        report.extras.set("dueling", std::move(dueling));
     }
 
     SweepStats &sweep = report.sweep;
@@ -833,8 +1027,8 @@ mergeShardReports(const std::string &experiment,
     for (std::size_t i = 0; i < results.specs.size(); ++i)
         spec_index.emplace(results.specs[i].name, i);
 
-    std::map<frontend::PolicyKind, std::vector<char>> filled;
-    for (frontend::PolicyKind policy : options.policies) {
+    std::map<frontend::PolicySpec, std::vector<char>> filled;
+    for (const frontend::PolicySpec &policy : options.policies) {
         results.results[policy].resize(results.specs.size());
         results.legSeconds[policy].assign(results.specs.size(), 0.0);
         filled[policy].assign(results.specs.size(), 0);
@@ -848,7 +1042,7 @@ mergeShardReports(const std::string &experiment,
                               "' ran a different sweep cell");
 
         for (const Leg &leg : shard.legs) {
-            const frontend::PolicyKind policy =
+            const frontend::PolicySpec policy =
                 policyFromName(leg.policy);
             const auto fit = filled.find(policy);
             if (fit == filled.end())
@@ -885,10 +1079,9 @@ mergeShardReports(const std::string &experiment,
     for (const auto &[policy, slots] : filled)
         for (std::size_t i = 0; i < slots.size(); ++i)
             if (!slots[i])
-                throw ReportError(
-                    "merge: no shard carried leg (" +
-                    results.specs[i].name + ", " +
-                    frontend::policyName(policy) + ")");
+                throw ReportError("merge: no shard carried leg (" +
+                                  results.specs[i].name + ", " +
+                                  frontend::policyName(policy) + ")");
 
     return buildSuiteReport(experiment, options, results);
 }

@@ -43,10 +43,14 @@ struct ReportError : std::runtime_error
  *  Minor 1 added the optional "extras" subtree (free-form named JSON
  *  blobs, e.g. per-frame efficiency matrices). Minor 2 added the
  *  "extras.telemetry" snapshot (counters / gauges / histograms; see
- *  report/telemetry_json.hh) stamped by ReportBuilder::finish(). */
+ *  report/telemetry_json.hh) stamped by ReportBuilder::finish().
+ *  Minor 3 added the optional per-leg "duel" subtree (set-dueling
+ *  PSEL statistics) plus the "extras.oracle" per-trace best-static
+ *  aggregate and "extras.dueling" summaries built by
+ *  buildSuiteReport(). */
 inline constexpr char kSchemaName[] = "ghrp-run-report";
 inline constexpr int kSchemaMajor = 1;
-inline constexpr int kSchemaMinor = 2;
+inline constexpr int kSchemaMinor = 3;
 
 /** Counters of one cache-like structure in one leg. */
 struct CounterSet
@@ -58,6 +62,20 @@ struct CounterSet
     std::uint64_t evictions = 0;
     std::uint64_t deadEvictions = 0;
     double mpki = 0.0;
+};
+
+/** Set-dueling statistics of one structure in one leg (schema minor
+ *  3). Mirrors cache::DuelTelemetry; everything is a pure function of
+ *  the access stream, so legs carrying it merge/resume
+ *  bit-identically. */
+struct DuelStats
+{
+    std::int64_t finalPsel = 0;
+    std::uint64_t leaderMissesA = 0;
+    std::uint64_t leaderMissesB = 0;
+    std::uint64_t winnerFlips = 0;
+    std::uint64_t sampleStride = 1;
+    std::vector<std::int64_t> trajectory;
 };
 
 /** One simulated (trace, policy/variant) leg. */
@@ -81,6 +99,12 @@ struct Leg
     std::uint64_t rasMispredicts = 0;
     std::uint64_t indirectBranches = 0;
     std::uint64_t indirectMispredicts = 0;
+
+    /** Present (serialized) only for duel:<A>,<B> legs, so documents
+     *  without dueling render byte-identically to schema minor 2. */
+    bool hasDuel = false;
+    DuelStats duelIcache;
+    DuelStats duelBtb;
 };
 
 /** Relative-to-LRU statistics of one structure, in percent. */

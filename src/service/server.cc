@@ -77,20 +77,15 @@ setNonBlocking(int fd)
 }
 
 /** Reverse of frontend::policyName that throws instead of fatal()ing
- *  (journals may be damaged; the daemon must not die on them). */
-frontend::PolicyKind
-policyKindFromName(const std::string &name)
+ *  (journals may be damaged; the daemon must not die on them). Covers
+ *  static policy names and duel:<A>,<B>[,...] specs alike. */
+frontend::PolicySpec
+policySpecFromName(const std::string &name)
 {
-    static constexpr frontend::PolicyKind kAll[] = {
-        frontend::PolicyKind::Lru,   frontend::PolicyKind::Random,
-        frontend::PolicyKind::Fifo,  frontend::PolicyKind::Srrip,
-        frontend::PolicyKind::Brrip, frontend::PolicyKind::Drrip,
-        frontend::PolicyKind::Sdbp,  frontend::PolicyKind::Ship,
-        frontend::PolicyKind::Ghrp};
-    for (frontend::PolicyKind kind : kAll)
-        if (name == frontend::policyName(kind))
-            return kind;
-    throw report::ReportError("unknown policy '" + name + "'");
+    frontend::PolicySpec spec;
+    if (!frontend::tryParsePolicySpec(name, spec))
+        throw report::ReportError("unknown policy '" + name + "'");
+    return spec;
 }
 
 std::uint64_t
@@ -761,7 +756,7 @@ ServiceServer::executeJob(const std::string &job_id, unsigned lease)
     core::SuiteOptions options;
     std::string experiment;
     double timeout_seconds = 0.0;
-    std::map<std::pair<std::size_t, frontend::PolicyKind>, report::Leg>
+    std::map<std::pair<std::size_t, frontend::PolicySpec>, report::Leg>
         recovered;
     {
         std::lock_guard<std::mutex> lock(jobsMutex);
@@ -819,7 +814,7 @@ ServiceServer::executeJob(const std::string &job_id, unsigned lease)
 
         core::RunHooks hooks;
         hooks.skipLeg = [&recovered](std::size_t trace,
-                                     frontend::PolicyKind policy) {
+                                     const frontend::PolicySpec &policy) {
             return recovered.count({trace, policy}) != 0;
         };
         hooks.cancelled = [this, &job_id, deadline] {
@@ -831,7 +826,7 @@ ServiceServer::executeJob(const std::string &job_id, unsigned lease)
             return jobs.at(job_id).cancelRequested;
         };
         hooks.onLegDone = [&](std::size_t trace,
-                              frontend::PolicyKind policy,
+                              const frontend::PolicySpec &policy,
                               const frontend::FrontendResult &result,
                               double seconds) {
             report::Json record = report::Json::object();
@@ -1048,7 +1043,7 @@ ServiceServer::recoverOne(const std::string &job_id)
             if (type == "leg") {
                 const auto trace_index = static_cast<std::size_t>(
                     record.at("traceIndex").asUint());
-                const frontend::PolicyKind policy = policyKindFromName(
+                const frontend::PolicySpec policy = policySpecFromName(
                     record.at("policy").asString());
                 job.recoveredLegs[{trace_index, policy}] =
                     report::legFromJson(record.at("leg"));

@@ -180,7 +180,7 @@ class ServiceServer
         /** Legs recovered from the journal on restart, keyed by
          *  (trace index, policy); injected into the runner's skipped
          *  slots before the report is built. */
-        std::map<std::pair<std::size_t, frontend::PolicyKind>,
+        std::map<std::pair<std::size_t, frontend::PolicySpec>,
                  report::Leg>
             recoveredLegs;
 

@@ -84,7 +84,7 @@ daemonLoadScore(const std::string &socket, double connect_timeout)
 struct Shard
 {
     std::size_t cell = 0;
-    frontend::PolicyKind policy = frontend::PolicyKind::Lru;
+    frontend::PolicySpec policy = frontend::PolicyKind::Lru;
     core::SuiteOptions options;  ///< cell options with one policy
     std::string daemon;          ///< socket it currently runs on
     std::string jobId;
@@ -131,7 +131,7 @@ runSweepCampaign(const SweepGrid &grid, const SweepOptions &options)
     const std::vector<std::uint64_t> seeds =
         grid.seeds.empty() ? std::vector<std::uint64_t>{grid.base.baseSeed}
                            : grid.seeds;
-    const std::vector<frontend::PolicyKind> policies =
+    const std::vector<frontend::PolicySpec> policies =
         grid.policies.empty() ? grid.base.policies : grid.policies;
     if (policies.empty())
         throw SweepError("sweep: no policies in the grid");
@@ -148,7 +148,7 @@ runSweepCampaign(const SweepGrid &grid, const SweepOptions &options)
 
     std::vector<Shard> shards;
     for (std::size_t c = 0; c < outcome.cellOptions.size(); ++c)
-        for (frontend::PolicyKind policy : policies) {
+        for (const frontend::PolicySpec &policy : policies) {
             Shard shard;
             shard.cell = c;
             shard.policy = policy;

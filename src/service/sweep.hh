@@ -51,7 +51,7 @@ struct SweepGrid
     /** One cell per seed; empty means one cell at base.baseSeed. */
     std::vector<std::uint64_t> seeds;
     /** Policies of every cell; empty means base.policies. */
-    std::vector<frontend::PolicyKind> policies;
+    std::vector<frontend::PolicySpec> policies;
 };
 
 /** Campaign knobs. */

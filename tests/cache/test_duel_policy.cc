@@ -1,0 +1,218 @@
+/** @file Unit tests for the set-dueling meta-policy wrapper. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cache/basic_policies.hh"
+#include "cache/duel_policy.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using namespace ghrp::cache;
+
+AccessInfo
+info(std::uint32_t set, std::uint64_t tick = 0)
+{
+    AccessInfo i;
+    i.set = set;
+    i.tick = tick;
+    return i;
+}
+
+DuelPolicy
+makeDuel(DuelPolicy::Params params = {})
+{
+    return DuelPolicy(std::make_unique<LruPolicy>(),
+                      std::make_unique<FifoPolicy>(), params,
+                      "duel:LRU,FIFO");
+}
+
+/** First A-leader and B-leader set indices after reset(num_sets). */
+std::pair<std::uint32_t, std::uint32_t>
+firstLeaders(const DuelPolicy &p, std::uint32_t num_sets)
+{
+    std::uint32_t leader_a = num_sets, leader_b = num_sets;
+    for (std::uint32_t s = 0; s < num_sets; ++s) {
+        if (p.role(s) == DuelPolicy::SetRole::LeaderA &&
+            leader_a == num_sets)
+            leader_a = s;
+        if (p.role(s) == DuelPolicy::SetRole::LeaderB &&
+            leader_b == num_sets)
+            leader_b = s;
+    }
+    return {leader_a, leader_b};
+}
+
+TEST(DuelPolicy, LeaderAssignmentMatchesDrripGeometry)
+{
+    DuelPolicy p = makeDuel({1023, 32});
+    p.reset(128, 8);
+
+    // 32 leaders per constituent over 128 sets: stride 2, so even
+    // slots alternate LeaderA at 4k and LeaderB at 4k+2.
+    std::uint32_t a = 0, b = 0, followers = 0;
+    for (std::uint32_t s = 0; s < 128; ++s) {
+        switch (p.role(s)) {
+          case DuelPolicy::SetRole::LeaderA: ++a; break;
+          case DuelPolicy::SetRole::LeaderB: ++b; break;
+          case DuelPolicy::SetRole::Follower: ++followers; break;
+        }
+    }
+    EXPECT_EQ(a, 32u);
+    EXPECT_EQ(b, 32u);
+    EXPECT_EQ(followers, 64u);
+    // stride = 128 / (32 * 2) = 2: A-leaders at 4k, B-leaders at 4k+2.
+    EXPECT_EQ(p.role(0), DuelPolicy::SetRole::LeaderA);
+    EXPECT_EQ(p.role(1), DuelPolicy::SetRole::Follower);
+    EXPECT_EQ(p.role(2), DuelPolicy::SetRole::LeaderB);
+    EXPECT_EQ(p.role(4), DuelPolicy::SetRole::LeaderA);
+}
+
+TEST(DuelPolicy, TinyCacheClampsLeadersToHalfTheSets)
+{
+    DuelPolicy p = makeDuel({1023, 32});
+    p.reset(4, 4);  // 32*2 > 4 -> 2 leaders per constituent
+    std::uint32_t a = 0, b = 0;
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        a += p.role(s) == DuelPolicy::SetRole::LeaderA;
+        b += p.role(s) == DuelPolicy::SetRole::LeaderB;
+    }
+    EXPECT_EQ(a, 2u);
+    EXPECT_EQ(b, 2u);
+}
+
+TEST(DuelPolicy, PselSaturatesAtConfiguredBound)
+{
+    DuelPolicy p = makeDuel({4, 1});
+    p.reset(64, 4);
+    const auto [leader_a, leader_b] = firstLeaders(p, 64);
+    ASSERT_LT(leader_a, 64u);
+    ASSERT_LT(leader_b, 64u);
+
+    // Misses in the A-leader drive PSEL down; it must clamp at -4.
+    for (int i = 0; i < 10; ++i)
+        p.shouldBypass(info(leader_a));
+    EXPECT_EQ(p.psel(), -4);
+    EXPECT_FALSE(p.winnerIsA());
+
+    // Misses in the B-leader drive it back up and clamp at +4.
+    for (int i = 0; i < 20; ++i)
+        p.shouldBypass(info(leader_b));
+    EXPECT_EQ(p.psel(), 4);
+    EXPECT_TRUE(p.winnerIsA());
+
+    const DuelTelemetry t = p.telemetry();
+    EXPECT_EQ(t.leaderMissesA, 10u);
+    EXPECT_EQ(t.leaderMissesB, 20u);
+    EXPECT_EQ(t.finalPsel, 4);
+    EXPECT_EQ(t.winnerFlips, 2u);  // A->B on first dip, B->A on climb
+}
+
+TEST(DuelPolicy, FollowerMissesCarryNoSignal)
+{
+    DuelPolicy p = makeDuel({1023, 1});
+    p.reset(64, 4);
+    std::uint32_t follower = 64;
+    for (std::uint32_t s = 0; s < 64; ++s)
+        if (p.role(s) == DuelPolicy::SetRole::Follower) {
+            follower = s;
+            break;
+        }
+    ASSERT_LT(follower, 64u);
+    for (int i = 0; i < 50; ++i)
+        p.shouldBypass(info(follower));
+    EXPECT_EQ(p.psel(), 0);
+    EXPECT_EQ(p.telemetry().leaderMissesA, 0u);
+    EXPECT_EQ(p.telemetry().leaderMissesB, 0u);
+    EXPECT_TRUE(p.telemetry().trajectory.empty());
+}
+
+TEST(DuelPolicy, FollowersObeyPselWinner)
+{
+    // A = LRU, B = FIFO, in a follower set where they disagree:
+    // fill 0,1,2, then hit way 0. LRU now victimizes way 1; FIFO
+    // still victimizes way 0.
+    DuelPolicy p = makeDuel({8, 1});
+    p.reset(64, 3);
+    const auto [leader_a, leader_b] = firstLeaders(p, 64);
+    std::uint32_t follower = 64;
+    for (std::uint32_t s = 0; s < 64; ++s)
+        if (p.role(s) == DuelPolicy::SetRole::Follower) {
+            follower = s;
+            break;
+        }
+    ASSERT_LT(follower, 64u);
+
+    const auto prime = [&] {
+        for (std::uint32_t w = 0; w < 3; ++w)
+            p.onFill(info(follower), w);
+        p.onHit(info(follower), 0);
+    };
+
+    prime();
+    EXPECT_TRUE(p.winnerIsA());  // PSEL starts at 0 -> A (LRU) wins
+    EXPECT_EQ(p.chooseVictim(info(follower)), 1u);
+
+    // Push PSEL negative: B (FIFO) takes over the followers.
+    for (int i = 0; i < 8; ++i)
+        p.shouldBypass(info(leader_a));
+    ASSERT_FALSE(p.winnerIsA());
+    p.reset(64, 3);
+    for (int i = 0; i < 8; ++i)
+        p.shouldBypass(info(leader_a));
+    prime();
+    EXPECT_EQ(p.chooseVictim(info(follower)), 0u);
+}
+
+TEST(DuelPolicy, TrajectoryDecimatesDeterministically)
+{
+    DuelPolicy p = makeDuel({1023, 1});
+    p.reset(64, 4);
+    const auto [leader_a, leader_b] = firstLeaders(p, 64);
+    (void)leader_b;
+
+    // Far more leader misses than the 128-sample capacity: the stride
+    // must have doubled (at least once) and the buffer stayed bounded.
+    for (int i = 0; i < 1000; ++i)
+        p.shouldBypass(info(leader_a));
+    const DuelTelemetry t = p.telemetry();
+    EXPECT_LE(t.trajectory.size(), 128u);
+    EXPECT_GT(t.sampleStride, 1u);
+    EXPECT_FALSE(t.trajectory.empty());
+    // Monotone input -> monotone non-increasing samples.
+    for (std::size_t i = 1; i < t.trajectory.size(); ++i)
+        EXPECT_LE(t.trajectory[i], t.trajectory[i - 1]);
+
+    // Identical stimulus after reset reproduces the exact trajectory.
+    DuelPolicy q = makeDuel({1023, 1});
+    q.reset(64, 4);
+    for (int i = 0; i < 1000; ++i)
+        q.shouldBypass(info(leader_a));
+    EXPECT_EQ(q.telemetry().trajectory, t.trajectory);
+    EXPECT_EQ(q.telemetry().sampleStride, t.sampleStride);
+}
+
+TEST(DuelPolicy, ResetClearsAllDuelingState)
+{
+    DuelPolicy p = makeDuel({16, 1});
+    p.reset(64, 4);
+    const auto [leader_a, leader_b] = firstLeaders(p, 64);
+    (void)leader_b;
+    for (int i = 0; i < 10; ++i)
+        p.shouldBypass(info(leader_a));
+    EXPECT_NE(p.psel(), 0);
+
+    p.reset(64, 4);
+    EXPECT_EQ(p.psel(), 0);
+    const DuelTelemetry t = p.telemetry();
+    EXPECT_EQ(t.leaderMissesA, 0u);
+    EXPECT_EQ(t.leaderMissesB, 0u);
+    EXPECT_EQ(t.winnerFlips, 0u);
+    EXPECT_EQ(t.sampleStride, 1u);
+    EXPECT_TRUE(t.trajectory.empty());
+}
+
+} // anonymous namespace

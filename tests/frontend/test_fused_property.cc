@@ -111,7 +111,7 @@ runOneSeed(std::uint64_t seed)
     if (rng.nextBool(0.8))
         resolveDirectionStream(dec, base.direction);
 
-    const std::vector<PolicyKind> policies(
+    const std::vector<PolicySpec> policies(
         allPolicies, allPolicies + std::size(allPolicies));
     const std::vector<FrontendResult> fused =
         simulateFused(base, policies, dec);
@@ -192,7 +192,7 @@ TEST(FusedProperty, DirectMappedStructures)
         trace::decodeTrace(tr, base.icache.blockBytes, base.instBytes);
     resolveDirectionStream(dec, base.direction);
 
-    const std::vector<PolicyKind> policies(
+    const std::vector<PolicySpec> policies(
         allPolicies, allPolicies + std::size(allPolicies));
     const std::vector<FrontendResult> fused =
         simulateFused(base, policies, dec);

@@ -64,7 +64,7 @@ expectIdentical(const FrontendResult &a, const FrontendResult &b,
     EXPECT_EQ(a.policy, b.policy);
 }
 
-std::vector<PolicyKind>
+std::vector<PolicySpec>
 everyPolicy()
 {
     return {allPolicies, allPolicies + std::size(allPolicies)};
@@ -274,13 +274,15 @@ TEST(FusedRunner, SkipHookDropsLanesFromTheGroup)
     options.fused = true;
     options.jobs = 1;
 
-    const auto skip = [](std::size_t trace_index, PolicyKind policy) {
-        return trace_index == 0 || policy == PolicyKind::Random;
+    const auto skip = [](std::size_t trace_index,
+                         const PolicySpec &policy) {
+        return trace_index == 0 || policy == PolicySpec(PolicyKind::Random);
     };
     core::RunHooks hooks;
     hooks.skipLeg = skip;
     std::size_t done_legs = 0;
-    hooks.onLegDone = [&](std::size_t trace_index, PolicyKind policy,
+    hooks.onLegDone = [&](std::size_t trace_index,
+                          const PolicySpec &policy,
                           const FrontendResult &, double) {
         EXPECT_FALSE(skip(trace_index, policy));
         ++done_legs;

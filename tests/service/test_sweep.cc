@@ -116,7 +116,7 @@ TEST(Service, MergedShardReportsMatchUnshardedReport)
         report::buildSuiteReport("merge-test", cell, full);
 
     std::vector<report::RunReport> shards;
-    for (frontend::PolicyKind policy : cell.policies) {
+    for (const frontend::PolicySpec &policy : cell.policies) {
         core::SuiteOptions shard = cell;
         shard.policies = {policy};
         shards.push_back(report::buildSuiteReport(

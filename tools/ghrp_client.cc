@@ -313,9 +313,8 @@ cmdSweep(const core::CliOptions &cli)
     for (const std::string &token :
          splitList(cli.getString("seeds", "42")))
         grid.seeds.push_back(std::stoull(token));
-    for (const std::string &token :
-         splitList(cli.getString("policies", "")))
-        grid.policies.push_back(frontend::parsePolicy(token));
+    grid.policies =
+        frontend::parsePolicyList(cli.getString("policies", ""));
 
     const service::SweepOutcome outcome =
         service::runSweepCampaign(grid, options);

@@ -30,6 +30,12 @@
  *       snapshot (schema minor >= 2); exit 1 when any is missing or
  *       malformed — the CI gate that benches keep embedding telemetry.
  *
+ *   ghrp-report check-docs DOC
+ *       Verify the policy-authoring guide mentions every registered
+ *       replacement policy name plus the duel:<A>,<B> composition
+ *       syntax; exit 1 listing what is missing — the CI gate that
+ *       docs/ADDING_A_POLICY.md keeps up with the registry.
+ *
  * Exit codes: 0 success, 1 gate/drift failure, 2 usage or load error.
  */
 
@@ -41,6 +47,7 @@
 #include <string>
 #include <vector>
 
+#include "frontend/frontend.hh"
 #include "report/render.hh"
 #include "report/report.hh"
 #include "report/telemetry_json.hh"
@@ -61,7 +68,8 @@ usage()
         "[--max-regress PCT]\n"
         "       ghrp-report trajectory FILE [--out-dir DIR]\n"
         "       ghrp-report plot FILE... [--out-dir DIR]\n"
-        "       ghrp-report check-telemetry FILE...\n");
+        "       ghrp-report check-telemetry FILE...\n"
+        "       ghrp-report check-docs DOC\n");
     return 2;
 }
 
@@ -300,6 +308,36 @@ cmdCheckTelemetry(const std::vector<std::string> &args)
     return failed ? 1 : 0;
 }
 
+int
+cmdCheckDocs(const std::vector<std::string> &args)
+{
+    if (args.size() != 1 || args[0].rfind("--", 0) == 0)
+        return usage();
+    const std::string document = readFile(args[0]);
+    std::vector<std::string> missing;
+    for (frontend::PolicyKind kind : frontend::allPolicyKinds()) {
+        const std::string name = frontend::policyName(kind);
+        if (document.find(name) == std::string::npos)
+            missing.push_back(name);
+    }
+    // The meta-policy is spelled as a spec, not a bare name.
+    if (document.find("duel:") == std::string::npos)
+        missing.push_back("duel:<A>,<B>");
+    if (!missing.empty()) {
+        std::fprintf(stderr,
+                     "ghrp-report: %s does not mention every registered "
+                     "policy:\n",
+                     args[0].c_str());
+        for (const std::string &name : missing)
+            std::fprintf(stderr, "  missing: %s\n", name.c_str());
+        return 1;
+    }
+    std::printf("%s: all %zu registered policies (and duel syntax) "
+                "documented\n",
+                args[0].c_str(), frontend::allPolicyKinds().size());
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -321,6 +359,8 @@ main(int argc, char **argv)
             return cmdPlot(args);
         if (command == "check-telemetry")
             return cmdCheckTelemetry(args);
+        if (command == "check-docs")
+            return cmdCheckDocs(args);
         return usage();
     } catch (const std::exception &e) {
         std::fprintf(stderr, "ghrp-report: %s\n", e.what());
