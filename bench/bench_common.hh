@@ -38,6 +38,10 @@
  *                      fleet runs that report every binary
  *   --duel A,B[,...]   append a duel:A,B[,psel=N][,leaders=K]
  *                      set-dueling leg to the suite's policy axis
+ *   --phase-window N   phase flight recorder: sample a windowed
+ *                      telemetry record every N instructions per leg
+ *                      (or GHRP_PHASE_WINDOW; 0 = off, the default;
+ *                      records land under each report leg's "phases")
  */
 
 #ifndef GHRP_BENCH_BENCH_COMMON_HH
@@ -131,6 +135,12 @@ suiteOptions(const core::CliOptions &cli, std::uint32_t default_traces,
             options.fused = true;
     options.traceCacheDir = cli.getString("trace-cache", "");
     options.slowLegMs = cli.getDouble("slow-leg-ms", 0.0);
+    options.base.phaseWindow = cli.getUint("phase-window", 0);
+    if (!cli.has("phase-window"))
+        if (const char *env = std::getenv("GHRP_PHASE_WINDOW");
+            env && *env)
+            options.base.phaseWindow =
+                std::strtoull(env, nullptr, 10);
     if (const std::string duel = cli.getString("duel", ""); !duel.empty())
         options.policies.push_back(
             frontend::parsePolicySpec("duel:" + duel));

@@ -165,6 +165,22 @@ DuelPolicy::onEvict(const AccessInfo &info, std::uint32_t way,
     b->onEvict(info, way, victim_addr);
 }
 
+PredictionOutcomes
+DuelPolicy::predictionOutcomes() const
+{
+    // Both constituents predict on every access, so the duel reports
+    // their combined confusion counts; the follower-set owner split is
+    // already visible through the PSEL trajectory.
+    const PredictionOutcomes oa = a->predictionOutcomes();
+    const PredictionOutcomes ob = b->predictionOutcomes();
+    PredictionOutcomes out;
+    out.deadHits = oa.deadHits + ob.deadHits;
+    out.liveHits = oa.liveHits + ob.liveHits;
+    out.deadEvictions = oa.deadEvictions + ob.deadEvictions;
+    out.liveEvictions = oa.liveEvictions + ob.liveEvictions;
+    return out;
+}
+
 DuelTelemetry
 DuelPolicy::telemetry() const
 {

@@ -88,6 +88,7 @@ class DuelPolicy : public ReplacementPolicy
                  Addr victim_addr) override;
     std::string name() const override { return label; }
     bool lastVictimWasDead() const override { return lastDead; }
+    PredictionOutcomes predictionOutcomes() const override;
 
     /** Current PSEL value (negative favours B). */
     std::int64_t psel() const { return pselValue; }

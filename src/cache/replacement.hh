@@ -29,6 +29,21 @@ struct AccessInfo
 };
 
 /**
+ * Running tally of a dead-block predictor's verdicts against ground
+ * truth, accumulated since reset(). A hit on a predicted-dead block is
+ * a confusion (the predictor would have sacrificed a live block); an
+ * eviction of a predicted-dead block is the prediction paying off.
+ * Predictor-less policies report all zeros.
+ */
+struct PredictionOutcomes
+{
+    std::uint64_t deadHits = 0;       ///< hits on predicted-dead blocks
+    std::uint64_t liveHits = 0;       ///< hits on predicted-live blocks
+    std::uint64_t deadEvictions = 0;  ///< victims chosen as predicted dead
+    std::uint64_t liveEvictions = 0;  ///< victims chosen by recency fallback
+};
+
+/**
  * Abstract replacement policy. One instance manages one structure;
  * reset() is called by the owning cache with the final geometry before
  * any other hook.
@@ -85,6 +100,14 @@ class ReplacementPolicy
      * dead-eviction statistics; base policies return false.
      */
     virtual bool lastVictimWasDead() const { return false; }
+
+    /**
+     * Dead-block prediction outcome counters accumulated since
+     * reset(), feeding the phase flight recorder's per-window
+     * predictor-accuracy view. Base policies carry no predictor and
+     * report zeros.
+     */
+    virtual PredictionOutcomes predictionOutcomes() const { return {}; }
 };
 
 } // namespace ghrp::cache

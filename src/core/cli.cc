@@ -150,6 +150,15 @@ knownCliFlags()
         {"duel",
          "append a duel:<A>,<B> set-dueling leg to the suite's "
          "policy axis (bench suites)"},
+        {"phase-window",
+         "phase flight recorder: sample a windowed telemetry record "
+         "every N instructions (or GHRP_PHASE_WINDOW; 0 = off)"},
+        {"phases",
+         "ghrp-client watch: render a rolling per-leg phase readout "
+         "from the streamed flight-recorder records"},
+        {"diff",
+         "ghrp-report phases: align two reports' trajectories and "
+         "print per-window I-cache MPKI winner flips"},
     };
     return flags;
 }

@@ -385,6 +385,140 @@ FrontendSim::FrontendSim(const FrontendConfig &config) : cfg(config)
 
 FrontendSim::~FrontendSim() = default;
 
+namespace
+{
+
+/** Phase-record ring capacity, matching the duel PSEL trajectory:
+ *  beyond it adjacent records merge pairwise and the stride doubles,
+ *  keeping the buffer bounded while staying a deterministic function
+ *  of the access stream. */
+constexpr std::size_t kPhaseCapacity = kPhaseTrajectoryCapacity;
+
+/** Sum @p from's interval counters into @p into (identity fields —
+ *  window id, instruction count, PSEL — are NOT touched). */
+void
+addPhaseCounters(frontend::PhaseRecord &into,
+                 const frontend::PhaseRecord &from)
+{
+    into.icacheAccesses += from.icacheAccesses;
+    into.icacheMisses += from.icacheMisses;
+    into.icacheEvictions += from.icacheEvictions;
+    into.btbAccesses += from.btbAccesses;
+    into.btbMisses += from.btbMisses;
+    into.btbEvictions += from.btbEvictions;
+    into.condBranches += from.condBranches;
+    into.condMispredicts += from.condMispredicts;
+    into.btbTargetMismatches += from.btbTargetMismatches;
+    into.deadHits += from.deadHits;
+    into.liveHits += from.liveHits;
+    into.deadEvictions += from.deadEvictions;
+    into.liveEvictions += from.liveEvictions;
+}
+
+/** into += from - base, interval counters only. */
+void
+addPhaseDelta(frontend::PhaseRecord &into,
+              const frontend::PhaseRecord &from,
+              const frontend::PhaseRecord &base)
+{
+    into.icacheAccesses += from.icacheAccesses - base.icacheAccesses;
+    into.icacheMisses += from.icacheMisses - base.icacheMisses;
+    into.icacheEvictions += from.icacheEvictions - base.icacheEvictions;
+    into.btbAccesses += from.btbAccesses - base.btbAccesses;
+    into.btbMisses += from.btbMisses - base.btbMisses;
+    into.btbEvictions += from.btbEvictions - base.btbEvictions;
+    into.condBranches += from.condBranches - base.condBranches;
+    into.condMispredicts += from.condMispredicts - base.condMispredicts;
+    into.btbTargetMismatches +=
+        from.btbTargetMismatches - base.btbTargetMismatches;
+    into.deadHits += from.deadHits - base.deadHits;
+    into.liveHits += from.liveHits - base.liveHits;
+    into.deadEvictions += from.deadEvictions - base.deadEvictions;
+    into.liveEvictions += from.liveEvictions - base.liveEvictions;
+}
+
+} // anonymous namespace
+
+void
+FrontendSim::phaseCapture(PhaseRecord &out) const
+{
+    const stats::AccessStats &ic = icache->accessStats();
+    const stats::AccessStats &bt = btb->accessStats();
+    out.icacheAccesses = ic.accesses;
+    out.icacheMisses = ic.misses;
+    out.icacheEvictions = ic.evictions;
+    out.btbAccesses = bt.accesses;
+    out.btbMisses = bt.misses;
+    out.btbEvictions = bt.evictions;
+    out.condBranches = pending.condBranches;
+    out.condMispredicts = pending.condMispredicts;
+    out.btbTargetMismatches = pending.btbTargetMismatches;
+    const cache::PredictionOutcomes oi =
+        icache->policy().predictionOutcomes();
+    const cache::PredictionOutcomes ob =
+        btb->cacheModel().policy().predictionOutcomes();
+    out.deadHits = oi.deadHits + ob.deadHits;
+    out.liveHits = oi.liveHits + ob.liveHits;
+    out.deadEvictions = oi.deadEvictions + ob.deadEvictions;
+    out.liveEvictions = oi.liveEvictions + ob.liveEvictions;
+}
+
+void
+FrontendSim::phaseFoldReset()
+{
+    // The warm-up boundary zeroes the cache stats and branch counters
+    // mid-window. Bank the interval accumulated so far, then rebase
+    // the snapshot after the caller's resets so the window's counts
+    // stay exact across the discontinuity.
+    PhaseRecord cur;
+    phaseCapture(cur);
+    addPhaseDelta(phaseCarry, cur, phaseSnapshot);
+    phaseSnapshot = PhaseRecord{};
+    // Prediction outcomes are monotone (policies are not reset); keep
+    // their baseline so the next delta does not double count them.
+    phaseSnapshot.deadHits = cur.deadHits;
+    phaseSnapshot.liveHits = cur.liveHits;
+    phaseSnapshot.deadEvictions = cur.deadEvictions;
+    phaseSnapshot.liveEvictions = cur.liveEvictions;
+}
+
+void
+FrontendSim::phaseSample(std::uint64_t cum)
+{
+    PhaseRecord cur;
+    phaseCapture(cur);
+    addPhaseDelta(phasePending, cur, phaseSnapshot);
+    addPhaseCounters(phasePending, phaseCarry);
+    phaseCarry = PhaseRecord{};
+    phaseSnapshot = cur;
+    phasePending.window = phaseWindowId;
+    phasePending.instructions = cum;
+    phasePending.psel = icacheDuel ? icacheDuel->psel() : 0;
+
+    if (++phasePendingCount < phaseStride)
+        return;
+    phaseRecords.push_back(phasePending);
+    phasePending = PhaseRecord{};
+    phasePendingCount = 0;
+    if (phaseRecords.size() > kPhaseCapacity) {
+        // Decimate: the odd record out returns to the accumulator (it
+        // covers exactly half the doubled stride), then adjacent pairs
+        // merge in place — counters summed, the later record's
+        // identity kept — preserving the full time span.
+        phasePending = phaseRecords.back();
+        phaseRecords.pop_back();
+        phasePendingCount = phaseStride;
+        std::size_t w = 0;
+        for (std::size_t r = 0; r + 1 < phaseRecords.size(); r += 2) {
+            PhaseRecord merged = phaseRecords[r + 1];
+            addPhaseCounters(merged, phaseRecords[r]);
+            phaseRecords[w++] = merged;
+        }
+        phaseRecords.resize(w);
+        phaseStride *= 2;
+    }
+}
+
 FrontendResult
 FrontendSim::run(const trace::DecodedTrace &dec)
 {
@@ -416,6 +550,18 @@ FrontendSim::beginRun(const trace::DecodedTrace &dec)
 
     pendingWarm = pending.warmupInstructions == 0;
     pendingBlockMask = ~static_cast<Addr>(cfg.icache.blockBytes - 1);
+
+    // Arm the phase flight recorder; a saturated boundary keeps the
+    // per-record check to one always-false compare when it is off.
+    phaseRecords.clear();
+    phasePending = PhaseRecord{};
+    phaseSnapshot = PhaseRecord{};
+    phaseCarry = PhaseRecord{};
+    phasePendingCount = 0;
+    phaseStride = 1;
+    phaseWindowId = 0;
+    phaseNextBoundary =
+        cfg.phaseWindow == 0 ? ~std::uint64_t{0} : cfg.phaseWindow;
     // A pre-resolved direction stream replaces the per-leg predictor
     // simulation when it was resolved with this leg's predictor kind;
     // otherwise the predictor runs live (identical results, more work).
@@ -521,6 +667,8 @@ FrontendSim::stepRecord(const trace::DecodedTrace &dec, std::size_t i)
     if (!pendingWarm &&
         dec.cumInstructions[i] >= result.warmupInstructions) {
         pendingWarm = true;
+        if (phaseNextBoundary != ~std::uint64_t{0})
+            phaseFoldReset();
         icache->resetStats();
         btb->resetStats();
         result.condBranches = 0;
@@ -530,6 +678,16 @@ FrontendSim::stepRecord(const trace::DecodedTrace &dec, std::size_t i)
         result.rasMispredicts = 0;
         result.indirectBranches = 0;
         result.indirectMispredicts = 0;
+    }
+
+    // ---- phase flight recorder ----------------------------------
+    if (dec.cumInstructions[i] >= phaseNextBoundary) {
+        const std::uint64_t cum = dec.cumInstructions[i];
+        phaseSample(cum);
+        do {
+            phaseNextBoundary += cfg.phaseWindow;
+            ++phaseWindowId;
+        } while (cum >= phaseNextBoundary);
     }
 }
 
@@ -554,6 +712,17 @@ FrontendSim::finishRun()
     }
     if (btbDuel)
         result.btbDuel = btbDuel->telemetry();
+
+    if (cfg.phaseWindow > 0) {
+        // Only complete windows are committed — a trailing partial
+        // window would make the trajectory depend on where the trace
+        // happens to end rather than on the configured cadence.
+        result.hasPhases = true;
+        result.phases.window = cfg.phaseWindow;
+        result.phases.stride = phaseStride;
+        result.phases.records = std::move(phaseRecords);
+        phaseRecords.clear();
+    }
 
     if (icacheEff)
         icacheEff->finalize(icache->ticks());

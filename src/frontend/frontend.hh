@@ -185,6 +185,63 @@ struct FrontendConfig
 
     bool trackEfficiency = false;  ///< attach heat-map trackers
     std::uint32_t instBytes = 4;
+
+    /**
+     * Phase flight recorder: sample one windowed telemetry record
+     * every this many instructions (0 = off, the default). Records
+     * carry *interval* counts (I-cache/BTB misses, mispredictions,
+     * dead-block prediction outcomes, duel PSEL) and are bounded by a
+     * 128-slot decimating sampler, so memory stays O(1) per leg and
+     * the trajectory is a pure function of the access stream —
+     * bit-identical across --jobs, fused lanes, crash resume and
+     * sweep shard merges.
+     */
+    std::uint64_t phaseWindow = 0;
+};
+
+/**
+ * One committed flight-recorder window: interval (not cumulative)
+ * counts over `window` raw instructions — or, after decimation, over a
+ * stride-sized group of raw windows ending at this record.
+ */
+struct PhaseRecord
+{
+    std::uint64_t window = 0;        ///< raw window ordinal (0-based)
+    std::uint64_t instructions = 0;  ///< cumulative instructions at commit
+
+    std::uint64_t icacheAccesses = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t icacheEvictions = 0;
+    std::uint64_t btbAccesses = 0;
+    std::uint64_t btbMisses = 0;
+    std::uint64_t btbEvictions = 0;
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t btbTargetMismatches = 0;
+
+    /** Dead-block predictor outcomes, I-cache + BTB policies combined
+     *  (all zeros under predictor-less policies). */
+    std::uint64_t deadHits = 0;
+    std::uint64_t liveHits = 0;
+    std::uint64_t deadEvictions = 0;
+    std::uint64_t liveEvictions = 0;
+
+    /** I-cache duel PSEL at commit time (0 for non-duel legs). */
+    std::int64_t psel = 0;
+};
+
+/** Flight-recorder record bound per leg: when a trajectory would grow
+ *  past this, adjacent records merge pairwise and the stride doubles,
+ *  so any run length fits in O(1) memory. */
+inline constexpr std::size_t kPhaseTrajectoryCapacity = 128;
+
+/** The per-leg phase trajectory harvested by the flight recorder. */
+struct PhaseTrajectory
+{
+    std::uint64_t window = 0;  ///< raw window size, instructions
+    std::uint64_t stride = 1;  ///< raw windows per record after decimation
+    std::vector<PhaseRecord> records;
 };
 
 /** Results of one simulation. */
@@ -215,6 +272,11 @@ struct FrontendResult
     bool hasDuel = false;
     cache::DuelTelemetry icacheDuel;
     cache::DuelTelemetry btbDuel;
+
+    /** Phase flight recorder trajectory, present only when the leg ran
+     *  with a non-zero phaseWindow (hasPhases). */
+    bool hasPhases = false;
+    PhaseTrajectory phases;
 
     /** Indirect target mispredictions per 1000 instructions. */
     double
@@ -311,6 +373,24 @@ class FrontendSim
     bool pendingWarm = false;
     bool pendingPreResolved = false;
     Addr pendingBlockMask = 0;
+
+    // ---- phase flight recorder (see FrontendConfig::phaseWindow) ----
+    /** Cumulative counters at @p out, read from the live structures. */
+    void phaseCapture(PhaseRecord &out) const;
+    /** Fold counts about to be discarded by a stats reset into the
+     *  carry, then rebase the snapshot on the post-reset values. */
+    void phaseFoldReset();
+    /** Close the raw window ending at @p cum instructions. */
+    void phaseSample(std::uint64_t cum);
+
+    std::uint64_t phaseNextBoundary = ~std::uint64_t{0};
+    std::uint64_t phaseWindowId = 0;
+    std::uint64_t phaseStride = 1;
+    std::uint64_t phasePendingCount = 0;
+    PhaseRecord phasePending;   ///< stride-group being accumulated
+    PhaseRecord phaseSnapshot;  ///< cumulative counters at last boundary
+    PhaseRecord phaseCarry;     ///< counts folded across stats resets
+    std::vector<PhaseRecord> phaseRecords;
 };
 
 /**

@@ -119,6 +119,7 @@ GhrpReplacement::reset(std::uint32_t num_sets, std::uint32_t num_ways)
     ways = num_ways;
     meta.assign(static_cast<std::size_t>(sets) * ways, Meta{});
     lru.reset(sets, ways);
+    outcomes = {};
 }
 
 bool
@@ -143,6 +144,7 @@ GhrpReplacement::chooseVictim(const cache::AccessInfo &info)
         const std::uint8_t pos = lru.positionOf(info.set, w);
         if (!pred.config().requireStaleVictim) {
             lastDead = true;
+            ++outcomes.deadEvictions;
             return w;
         }
         if (pos > 0 && (best == ways || pos > best_pos)) {
@@ -152,9 +154,11 @@ GhrpReplacement::chooseVictim(const cache::AccessInfo &info)
     }
     if (best != ways) {
         lastDead = true;
+        ++outcomes.deadEvictions;
         return best;
     }
     lastDead = false;
+    ++outcomes.liveEvictions;
     return lru.lruWay(info.set);
 }
 
@@ -162,6 +166,12 @@ void
 GhrpReplacement::onHit(const cache::AccessInfo &info, std::uint32_t way)
 {
     Meta &m = meta[index(info.set, way)];
+    // A hit on a predicted-dead block is a predictor confusion; tally
+    // the stored verdict before it is overwritten below.
+    if (m.predictedDead)
+        ++outcomes.deadHits;
+    else
+        ++outcomes.liveHits;
     // The old signature led to a reuse: train toward "live" so the same
     // path predicts live in the future (Algorithm 1 lines 23-25).
     pred.train(m.signature, false);
@@ -222,6 +232,7 @@ GhrpBtbReplacement::reset(std::uint32_t num_sets, std::uint32_t num_ways)
     ways = num_ways;
     deadBit.assign(static_cast<std::size_t>(sets) * ways, 0);
     lru.reset(sets, ways);
+    outcomes = {};
 }
 
 std::uint16_t
@@ -253,10 +264,12 @@ GhrpBtbReplacement::chooseVictim(const cache::AccessInfo &info)
     for (std::uint32_t w = 0; w < ways; ++w) {
         if (deadBit[index(info.set, w)]) {
             lastDead = true;
+            ++outcomes.deadEvictions;
             return w;
         }
     }
     lastDead = false;
+    ++outcomes.liveEvictions;
     return lru.lruWay(info.set);
 }
 
@@ -264,6 +277,10 @@ void
 GhrpBtbReplacement::onHit(const cache::AccessInfo &info, std::uint32_t way)
 {
     ++coupling.accesses;
+    if (deadBit[index(info.set, way)])
+        ++outcomes.deadHits;
+    else
+        ++outcomes.liveHits;
     const bool dead = pred.predictBtbDead(signatureFor(info.pc));
     if (dead)
         ++coupling.predictedDead;
@@ -297,6 +314,7 @@ GhrpBtbDedicated::reset(std::uint32_t num_sets, std::uint32_t num_ways)
     ways = num_ways;
     meta.assign(static_cast<std::size_t>(sets) * ways, Meta{});
     lru.reset(sets, ways);
+    outcomes = {};
 }
 
 bool
@@ -318,6 +336,7 @@ GhrpBtbDedicated::chooseVictim(const cache::AccessInfo &info)
         const std::uint8_t pos = lru.positionOf(info.set, w);
         if (!pred.config().requireStaleVictim) {
             lastDead = true;
+            ++outcomes.deadEvictions;
             return w;
         }
         if (pos > 0 && (best == ways || pos > best_pos)) {
@@ -327,9 +346,11 @@ GhrpBtbDedicated::chooseVictim(const cache::AccessInfo &info)
     }
     if (best != ways) {
         lastDead = true;
+        ++outcomes.deadEvictions;
         return best;
     }
     lastDead = false;
+    ++outcomes.liveEvictions;
     return lru.lruWay(info.set);
 }
 
@@ -337,6 +358,10 @@ void
 GhrpBtbDedicated::onHit(const cache::AccessInfo &info, std::uint32_t way)
 {
     Meta &m = meta[index(info.set, way)];
+    if (m.predictedDead)
+        ++outcomes.deadHits;
+    else
+        ++outcomes.liveHits;
     pred.train(m.signature, false);
     const std::uint16_t sig = pred.signature(info.pc);
     m.signature = sig;

@@ -168,6 +168,10 @@ class GhrpReplacement : public cache::ReplacementPolicy
                  Addr victim_addr) override;
     std::string name() const override { return "GHRP"; }
     bool lastVictimWasDead() const override { return lastDead; }
+    cache::PredictionOutcomes predictionOutcomes() const override
+    {
+        return outcomes;
+    }
 
     /** Stored signature of frame (set, way) — read by the BTB policy. */
     std::uint16_t signatureAt(std::uint32_t set, std::uint32_t way) const;
@@ -196,6 +200,7 @@ class GhrpReplacement : public cache::ReplacementPolicy
     std::vector<Meta> meta;
     cache::LruStack lru;
     bool lastDead = false;
+    cache::PredictionOutcomes outcomes;
 };
 
 /**
@@ -224,6 +229,10 @@ class GhrpBtbReplacement : public cache::ReplacementPolicy
     void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
     std::string name() const override { return "GHRP"; }
     bool lastVictimWasDead() const override { return lastDead; }
+    cache::PredictionOutcomes predictionOutcomes() const override
+    {
+        return outcomes;
+    }
 
     /** Coupling telemetry (how BTB predictions were sourced). */
     struct CouplingStats
@@ -258,6 +267,7 @@ class GhrpBtbReplacement : public cache::ReplacementPolicy
     std::vector<std::uint8_t> deadBit;
     cache::LruStack lru;
     bool lastDead = false;
+    cache::PredictionOutcomes outcomes;
 };
 
 
@@ -283,6 +293,10 @@ class GhrpBtbDedicated : public cache::ReplacementPolicy
                  Addr victim_addr) override;
     std::string name() const override { return "GHRP-dedicated"; }
     bool lastVictimWasDead() const override { return lastDead; }
+    cache::PredictionOutcomes predictionOutcomes() const override
+    {
+        return outcomes;
+    }
 
     /** Storage cost of the dedicated predictor (tables + history +
      *  per-entry signatures), in bits — the paper's size argument. */
@@ -309,6 +323,7 @@ class GhrpBtbDedicated : public cache::ReplacementPolicy
     std::vector<Meta> meta;
     cache::LruStack lru;
     bool lastDead = false;
+    cache::PredictionOutcomes outcomes;
 };
 
 } // namespace ghrp::predictor

@@ -28,6 +28,7 @@ SdbpReplacement::reset(std::uint32_t num_sets, std::uint32_t num_ways)
     samplerLru.reset(sets, ways);
     deadBit.assign(static_cast<std::size_t>(sets) * ways, 0);
     lru.reset(sets, ways);
+    outcomes = {};
 }
 
 std::uint16_t
@@ -113,10 +114,12 @@ SdbpReplacement::chooseVictim(const cache::AccessInfo &info)
     for (std::uint32_t w = 0; w < ways; ++w) {
         if (deadBit[index(info.set, w)]) {
             lastDead = true;
+            ++outcomes.deadEvictions;
             return w;
         }
     }
     lastDead = false;
+    ++outcomes.liveEvictions;
     return lru.lruWay(info.set);
 }
 
@@ -124,6 +127,10 @@ void
 SdbpReplacement::onHit(const cache::AccessInfo &info, std::uint32_t way)
 {
     sampleAccess(info);
+    if (deadBit[index(info.set, way)])
+        ++outcomes.deadHits;
+    else
+        ++outcomes.liveHits;
     deadBit[index(info.set, way)] =
         predictDead(signatureFor(info)) ? 1 : 0;
     lru.touch(info.set, way);

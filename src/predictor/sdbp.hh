@@ -63,6 +63,10 @@ class SdbpReplacement : public cache::ReplacementPolicy
     void onFill(const cache::AccessInfo &info, std::uint32_t way) override;
     std::string name() const override { return "SDBP"; }
     bool lastVictimWasDead() const override { return lastDead; }
+    cache::PredictionOutcomes predictionOutcomes() const override
+    {
+        return outcomes;
+    }
 
     const SdbpConfig &config() const { return cfg; }
 
@@ -124,6 +128,7 @@ class SdbpReplacement : public cache::ReplacementPolicy
     std::vector<std::uint8_t> deadBit;  ///< per main-cache block
     cache::LruStack lru;
     bool lastDead = false;
+    cache::PredictionOutcomes outcomes;
     std::uint64_t lastSampledTick = ~std::uint64_t{0};
     std::uint64_t sigTick = ~std::uint64_t{0};
     std::uint16_t sigCache = 0;

@@ -156,6 +156,102 @@ oracleLines(const RunReport &report)
     return out;
 }
 
+/** Lower-cased, filename/identifier-safe copy of @p name. */
+std::string
+sanitizeToken(std::string name)
+{
+    for (char &c : name) {
+        c = static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c)));
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return name;
+}
+
+/** Total set-dueling winner flips per duel policy, (icache, btb),
+ *  keyed in first-appearance leg order. */
+std::pair<std::vector<std::string>,
+          std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>>
+duelFlipTotals(const RunReport &report)
+{
+    std::vector<std::string> order;
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> flips;
+    for (const Leg &leg : report.legs) {
+        if (!leg.hasDuel)
+            continue;
+        if (flips.find(leg.policy) == flips.end())
+            order.push_back(leg.policy);
+        auto &f = flips[leg.policy];
+        f.first += leg.duelIcache.winnerFlips;
+        f.second += leg.duelBtb.winnerFlips;
+    }
+    return {std::move(order), std::move(flips)};
+}
+
+/** Set-dueling winner-flip summary lines (schema minor 3). Empty
+ *  without duel legs, so older reports render byte-identically. */
+std::string
+duelFlipLines(const RunReport &report)
+{
+    const auto [order, flips] = duelFlipTotals(report);
+    std::string out;
+    for (const std::string &name : order) {
+        const auto &f = flips.at(name);
+        out += name + " winner flips: I-cache " +
+               std::to_string(f.first) + ", BTB " +
+               std::to_string(f.second) + "\n";
+    }
+    return out.empty() ? out : "\n" + out;
+}
+
+/** ASCII sparkline of @p values on a 9-level ramp (min..max). */
+std::string
+sparkline(const std::vector<double> &values)
+{
+    static constexpr char ramp[] = ".:-=+*#%@";
+    constexpr int levels = 9;
+    double lo = values.front(), hi = values.front();
+    for (double v : values) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::string out;
+    out.reserve(values.size());
+    for (double v : values) {
+        const int level =
+            hi > lo ? static_cast<int>((v - lo) / (hi - lo) *
+                                           (levels - 1) +
+                                       0.5)
+                    : 0;
+        out += ramp[level];
+    }
+    return out;
+}
+
+/** Per-record instruction spans of a phase trajectory (commit-point
+ *  deltas; the first record spans from instruction 0). */
+std::vector<double>
+phaseSpans(const PhaseStats &phases)
+{
+    std::vector<double> spans;
+    spans.reserve(phases.records.size());
+    std::uint64_t prev = 0;
+    for (const frontend::PhaseRecord &rec : phases.records) {
+        spans.push_back(rec.instructions > prev
+                            ? static_cast<double>(rec.instructions - prev)
+                            : 0.0);
+        prev = rec.instructions;
+    }
+    return spans;
+}
+
+double
+intervalMpki(std::uint64_t misses, double span)
+{
+    return span > 0.0 ? static_cast<double>(misses) * 1000.0 / span : 0.0;
+}
+
 } // anonymous namespace
 
 std::string
@@ -185,7 +281,8 @@ renderBlock(const RunReport &report)
     else
         table = metricsTable(report);
     return beginMarker(report.experiment) + "\n" + table +
-           oracleLines(report) + endMarker(report.experiment);
+           oracleLines(report) + duelFlipLines(report) +
+           endMarker(report.experiment);
 }
 
 bool
@@ -331,6 +428,20 @@ trajectoryPoints(const RunReport &report)
     }
     for (const auto &[name, value] : report.metrics)
         add(report.experiment + "_" + name, "", value);
+
+    // Set-dueling trajectory points (schema minor 3): total winner
+    // flips per duel policy — deterministic integers, so any delta on
+    // the benchmark trajectory is a code change.
+    const auto [duel_order, duel_flips] = duelFlipTotals(report);
+    for (const std::string &name : duel_order) {
+        const auto &f = duel_flips.at(name);
+        add(report.experiment + "_" + sanitizeToken(name) +
+                "_icache_winner_flips",
+            "flips", static_cast<double>(f.first));
+        add(report.experiment + "_" + sanitizeToken(name) +
+                "_btb_winner_flips",
+            "flips", static_cast<double>(f.second));
+    }
     return points;
 }
 
@@ -408,7 +519,343 @@ plotFiles(const RunReport &report)
         }
         files.emplace_back(stem + ".gp", std::move(gp));
     }
+
+    // Set-dueling PSEL trajectories (schema minor 3): one table per
+    // trace that ran duel legs, with one decimated-sample column per
+    // (duel policy, structure), plus a script plotting them.
+    std::vector<std::string> trace_order;
+    std::map<std::string, std::vector<const Leg *>> duel_legs;
+    for (const Leg &leg : report.legs) {
+        if (!leg.hasDuel)
+            continue;
+        if (duel_legs.find(leg.trace) == duel_legs.end())
+            trace_order.push_back(leg.trace);
+        duel_legs[leg.trace].push_back(&leg);
+    }
+    for (const std::string &trace : trace_order) {
+        const std::vector<const Leg *> &legs = duel_legs[trace];
+        std::size_t rows = 0;
+        for (const Leg *leg : legs)
+            rows = std::max({rows, leg->duelIcache.trajectory.size(),
+                             leg->duelBtb.trajectory.size()});
+        if (rows == 0)
+            continue;
+
+        const std::string stem = "psel_" + sanitizeToken(trace);
+        std::string dat = "# " + report.experiment + ": " + trace +
+                          " set-dueling PSEL trajectory (decimated "
+                          "samples)\n# sample";
+        for (const Leg *leg : legs)
+            dat += " " + leg->policy + ":icache(stride=" +
+                   std::to_string(leg->duelIcache.sampleStride) + ") " +
+                   leg->policy + ":btb(stride=" +
+                   std::to_string(leg->duelBtb.sampleStride) + ")";
+        dat += "\n";
+        for (std::size_t r = 0; r < rows; ++r) {
+            dat += std::to_string(r + 1);
+            for (const Leg *leg : legs) {
+                const std::vector<std::int64_t> &ic =
+                    leg->duelIcache.trajectory;
+                const std::vector<std::int64_t> &bt =
+                    leg->duelBtb.trajectory;
+                dat += r < ic.size() ? " " + std::to_string(ic[r])
+                                     : " nan";
+                dat += r < bt.size() ? " " + std::to_string(bt[r])
+                                     : " nan";
+            }
+            dat += "\n";
+        }
+        files.emplace_back(stem + ".dat", std::move(dat));
+
+        std::string gp = "# gnuplot script for " + stem + ".dat\n"
+                         "set terminal pngcairo size 960,640\n"
+                         "set output '" + stem + ".png'\n"
+                         "set title '" + report.experiment + ": " +
+                         trace + " duel PSEL trajectory'\n"
+                         "set xlabel 'sample'\n"
+                         "set ylabel 'PSEL'\n"
+                         "set key left top\n"
+                         "set grid\n"
+                         "plot \\\n";
+        std::size_t col = 2;
+        for (std::size_t l = 0; l < legs.size(); ++l) {
+            gp += "    '" + stem + ".dat' using 1:" +
+                  std::to_string(col++) + " with linespoints title '" +
+                  legs[l]->policy + " icache', \\\n";
+            gp += "    '" + stem + ".dat' using 1:" +
+                  std::to_string(col++) + " with linespoints title '" +
+                  legs[l]->policy + " btb'";
+            gp += l + 1 < legs.size() ? ", \\\n" : "\n";
+        }
+        files.emplace_back(stem + ".gp", std::move(gp));
+    }
     return files;
+}
+
+std::string
+renderPhases(const RunReport &report)
+{
+    std::string out;
+    for (const Leg &leg : report.legs) {
+        if (!leg.hasPhases || leg.phases.records.empty())
+            continue;
+        const PhaseStats &ph = leg.phases;
+        const std::vector<double> spans = phaseSpans(ph);
+
+        std::vector<double> icache, btb, mispredict, dead, psel;
+        bool any_outcomes = false, any_psel = false;
+        for (std::size_t i = 0; i < ph.records.size(); ++i) {
+            const frontend::PhaseRecord &r = ph.records[i];
+            icache.push_back(intervalMpki(r.icacheMisses, spans[i]));
+            btb.push_back(intervalMpki(r.btbMisses, spans[i]));
+            mispredict.push_back(
+                r.condBranches ? 100.0 *
+                                     static_cast<double>(
+                                         r.condMispredicts) /
+                                     static_cast<double>(r.condBranches)
+                               : 0.0);
+            const std::uint64_t evictions =
+                r.deadEvictions + r.liveEvictions;
+            dead.push_back(evictions
+                               ? 100.0 *
+                                     static_cast<double>(
+                                         r.deadEvictions) /
+                                     static_cast<double>(evictions)
+                               : 0.0);
+            if (r.deadHits | r.liveHits | r.deadEvictions |
+                r.liveEvictions)
+                any_outcomes = true;
+            psel.push_back(static_cast<double>(r.psel));
+            if (r.psel != 0)
+                any_psel = true;
+        }
+
+        out += leg.trace + "/" + leg.policy + ": " +
+               std::to_string(ph.records.size()) + " records, window " +
+               std::to_string(ph.window) + ", stride " +
+               std::to_string(ph.stride) + "\n";
+        const auto line = [&](const char *label,
+                              const std::vector<double> &values,
+                              const char *format) {
+            double lo = values.front(), hi = values.front();
+            for (double v : values) {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+            }
+            char head[96];
+            std::snprintf(head, sizeof(head), "  %-11s [%s, %s]  ",
+                          label, fmt(format, lo).c_str(),
+                          fmt(format, hi).c_str());
+            out += std::string(head) + sparkline(values) + "\n";
+        };
+        line("I$ MPKI", icache, "%.3f");
+        line("BTB MPKI", btb, "%.3f");
+        line("dir miss%", mispredict, "%.2f");
+        if (any_outcomes)
+            line("dead evict%", dead, "%.1f");
+        if (any_psel)
+            line("PSEL", psel, "%.0f");
+        out += "\n";
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+phaseFiles(const RunReport &report)
+{
+    std::vector<std::pair<std::string, std::string>> files;
+    std::vector<std::string> stems, titles;
+
+    for (const Leg &leg : report.legs) {
+        if (!leg.hasPhases || leg.phases.records.empty())
+            continue;
+        const PhaseStats &ph = leg.phases;
+        const std::vector<double> spans = phaseSpans(ph);
+        const std::string stem = "phase_" + sanitizeToken(leg.trace) +
+                                 "_" + sanitizeToken(leg.policy);
+        std::string dat =
+            "# " + report.experiment + ": " + leg.trace + "/" +
+            leg.policy + " flight-recorder trajectory (window " +
+            std::to_string(ph.window) + ", stride " +
+            std::to_string(ph.stride) + ")\n"
+            "# window instructions icacheMpki btbMpki dirMissPct "
+            "deadHits liveHits deadEvictions liveEvictions psel\n";
+        for (std::size_t i = 0; i < ph.records.size(); ++i) {
+            const frontend::PhaseRecord &r = ph.records[i];
+            dat += std::to_string(r.window) + " " +
+                   std::to_string(r.instructions) + " " +
+                   fmt("%.6f", intervalMpki(r.icacheMisses, spans[i])) +
+                   " " +
+                   fmt("%.6f", intervalMpki(r.btbMisses, spans[i])) +
+                   " " +
+                   fmt("%.6f",
+                       r.condBranches
+                           ? 100.0 *
+                                 static_cast<double>(r.condMispredicts) /
+                                 static_cast<double>(r.condBranches)
+                           : 0.0) +
+                   " " + std::to_string(r.deadHits) + " " +
+                   std::to_string(r.liveHits) + " " +
+                   std::to_string(r.deadEvictions) + " " +
+                   std::to_string(r.liveEvictions) + " " +
+                   std::to_string(r.psel) + "\n";
+        }
+        files.emplace_back(stem + ".dat", std::move(dat));
+        stems.push_back(stem);
+        titles.push_back(leg.trace + "/" + leg.policy);
+    }
+    if (stems.empty())
+        return files;
+
+    std::string gp = "# gnuplot script for the phase trajectories of " +
+                     report.experiment + "\n"
+                     "set terminal pngcairo size 960,640\n"
+                     "set output 'phase_" + report.experiment + ".png'\n"
+                     "set title '" + report.experiment +
+                     ": I-cache MPKI phase trajectory'\n"
+                     "set xlabel 'instructions'\n"
+                     "set ylabel 'interval MPKI'\n"
+                     "set key outside right\n"
+                     "set grid\n"
+                     "plot \\\n";
+    for (std::size_t s = 0; s < stems.size(); ++s) {
+        gp += "    '" + stems[s] + ".dat' using 2:3 with linespoints "
+              "title '" + titles[s] + "'";
+        gp += s + 1 < stems.size() ? ", \\\n" : "\n";
+    }
+    files.emplace_back("phase_" + report.experiment + ".gp",
+                       std::move(gp));
+    return files;
+}
+
+PhaseCheckResult
+checkPhases(const RunReport &report)
+{
+    PhaseCheckResult result;
+    std::size_t phase_legs = 0, total_records = 0;
+    const auto fail = [&](const Leg &leg, const std::string &why) {
+        result.ok = false;
+        result.text += "[check] FAIL " + leg.trace + "/" + leg.policy +
+                       ": " + why + "\n";
+    };
+
+    for (const Leg &leg : report.legs) {
+        if (!leg.hasPhases)
+            continue;
+        ++phase_legs;
+        const PhaseStats &ph = leg.phases;
+        total_records += ph.records.size();
+        if (ph.window == 0)
+            fail(leg, "zero phase window");
+        if (ph.records.empty()) {
+            fail(leg, "no committed phase records");
+            continue;
+        }
+        if (ph.records.size() > frontend::kPhaseTrajectoryCapacity)
+            fail(leg, "record count " +
+                          std::to_string(ph.records.size()) +
+                          " exceeds the decimation bound " +
+                          std::to_string(
+                              frontend::kPhaseTrajectoryCapacity));
+        if (ph.stride == 0 || (ph.stride & (ph.stride - 1)) != 0)
+            fail(leg, "stride " + std::to_string(ph.stride) +
+                          " is not a power of two");
+        for (std::size_t i = 1; i < ph.records.size(); ++i)
+            if (ph.records[i].window <= ph.records[i - 1].window) {
+                fail(leg, "window ids not strictly monotone at record " +
+                              std::to_string(i));
+                break;
+            }
+        for (std::size_t i = 1; i < ph.records.size(); ++i)
+            if (ph.records[i].instructions <=
+                ph.records[i - 1].instructions) {
+                fail(leg,
+                     "instruction commits not strictly monotone at "
+                     "record " + std::to_string(i));
+                break;
+            }
+    }
+
+    if (phase_legs == 0) {
+        result.ok = false;
+        result.text +=
+            "[check] FAIL: no leg carries flight-recorder records\n";
+        return result;
+    }
+    if (result.ok)
+        result.text += "[check] OK: " + std::to_string(phase_legs) +
+                       " phase legs, " + std::to_string(total_records) +
+                       " records, decimation bound " +
+                       std::to_string(
+                           frontend::kPhaseTrajectoryCapacity) + "\n";
+    return result;
+}
+
+std::string
+diffPhases(const RunReport &a, const RunReport &b)
+{
+    std::string out = "phase diff " + a.runId + " -> " + b.runId +
+                      " (" + a.experiment + ")\n";
+    std::map<std::pair<std::string, std::string>, const Leg *> b_legs;
+    for (const Leg &leg : b.legs)
+        if (leg.hasPhases)
+            b_legs[{leg.trace, leg.policy}] = &leg;
+
+    std::uint64_t total_flips = 0;
+    std::size_t matched = 0;
+    for (const Leg &la : a.legs) {
+        if (!la.hasPhases)
+            continue;
+        const auto it = b_legs.find({la.trace, la.policy});
+        if (it == b_legs.end()) {
+            out += la.trace + "/" + la.policy +
+                   ": no phase records in B, skipped\n";
+            continue;
+        }
+        const Leg &lb = *it->second;
+        if (la.phases.window != lb.phases.window ||
+            la.phases.records.size() != lb.phases.records.size()) {
+            out += la.trace + "/" + la.policy +
+                   ": phase geometry differs (A window " +
+                   std::to_string(la.phases.window) + " x " +
+                   std::to_string(la.phases.records.size()) +
+                   ", B window " + std::to_string(lb.phases.window) +
+                   " x " + std::to_string(lb.phases.records.size()) +
+                   "), skipped\n";
+            continue;
+        }
+        ++matched;
+
+        const std::vector<double> spans_a = phaseSpans(la.phases);
+        const std::vector<double> spans_b = phaseSpans(lb.phases);
+        std::string detail;
+        std::uint64_t flips = 0;
+        int winner = 0;  // 0 unset, 1 = A, 2 = B (ties go to A)
+        for (std::size_t i = 0; i < la.phases.records.size(); ++i) {
+            const double ma = intervalMpki(
+                la.phases.records[i].icacheMisses, spans_a[i]);
+            const double mb = intervalMpki(
+                lb.phases.records[i].icacheMisses, spans_b[i]);
+            const int now = mb < ma ? 2 : 1;
+            if (winner != 0 && now != winner) {
+                ++flips;
+                detail +=
+                    "  window " +
+                    std::to_string(la.phases.records[i].window) +
+                    ": winner " + (now == 2 ? "A -> B" : "B -> A") +
+                    " (A " + fmt("%.3f", ma) + ", B " + fmt("%.3f", mb) +
+                    " I$ MPKI)\n";
+            }
+            winner = now;
+        }
+        total_flips += flips;
+        out += la.trace + "/" + la.policy + ": " +
+               std::to_string(la.phases.records.size()) + " windows, " +
+               std::to_string(flips) + " winner flips\n" + detail;
+    }
+    out += std::to_string(matched) + " legs compared, " +
+           std::to_string(total_flips) + " winner flips total\n";
+    return out;
 }
 
 } // namespace ghrp::report

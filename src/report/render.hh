@@ -96,11 +96,62 @@ trajectoryPoints(const RunReport &report);
  * accesses, an `<experiment>_<structure>.dat` table — one row per
  * per-trace MPKI rank (each policy's column sorted ascending, the
  * paper's S-curve presentation) — and a matching `.gp` script that
- * renders it to PNG. Reports without suite legs yield no files.
- * Deterministic: identical reports produce identical bytes.
+ * renders it to PNG. Traces with set-dueling legs additionally yield a
+ * `psel_<trace>.dat` PSEL-trajectory table (one sample column per duel
+ * policy and structure) with a matching `.gp`. Reports without suite
+ * legs yield no files. Deterministic: identical reports produce
+ * identical bytes.
  */
 std::vector<std::pair<std::string, std::string>>
 plotFiles(const RunReport &report);
+
+/**
+ * ASCII phase-trajectory view for `ghrp-report phases`: one block per
+ * leg carrying flight-recorder records — record count, window and
+ * stride, then sparklines of the interval I-cache/BTB MPKI, direction
+ * mispredict rate, dead-eviction share (when a dead-block predictor
+ * ran) and duel PSEL (duel legs). Empty string when no leg has phases.
+ */
+std::string renderPhases(const RunReport &report);
+
+/**
+ * Gnuplot phase-trajectory sources, as (filename, content) pairs: one
+ * `phase_<trace>_<policy>.dat` per leg with flight-recorder records
+ * (window id, cumulative instructions, interval MPKIs, mispredict
+ * rate, predictor outcome counts, PSEL) and one
+ * `phase_<experiment>.gp` script overlaying every leg's I-cache MPKI
+ * trajectory. Deterministic: identical reports produce identical
+ * bytes.
+ */
+std::vector<std::pair<std::string, std::string>>
+phaseFiles(const RunReport &report);
+
+/** Outcome of checkPhases(). */
+struct PhaseCheckResult
+{
+    bool ok = true;
+    std::string text;  ///< per-leg verdict lines
+};
+
+/**
+ * Validate a report's flight-recorder records, the CI gate behind
+ * `ghrp-report phases --check`: at least one leg carries phases, every
+ * phase leg has non-empty records with strictly monotone window ids
+ * and instruction commits, the record count respects the decimation
+ * bound (frontend::kPhaseTrajectoryCapacity), and the stride is a
+ * power of two.
+ */
+PhaseCheckResult checkPhases(const RunReport &report);
+
+/**
+ * Overlay the phase trajectories of two reports (`ghrp-report phases
+ * --diff A B`): legs matched by (trace, policy), records aligned by
+ * position, the per-window winner being the report with the lower
+ * interval I-cache MPKI. Prints one line per winner flip plus per-leg
+ * and total summaries; legs with mismatched phase geometry are
+ * reported and skipped.
+ */
+std::string diffPhases(const RunReport &a, const RunReport &b);
 
 } // namespace ghrp::report
 

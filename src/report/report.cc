@@ -173,7 +173,83 @@ duelStatsFromJson(const Json &j)
     return d;
 }
 
+Json
+phaseRecordToJson(const frontend::PhaseRecord &r)
+{
+    Json j = Json::object();
+    j.set("window", r.window);
+    j.set("instructions", r.instructions);
+    j.set("icacheAccesses", r.icacheAccesses);
+    j.set("icacheMisses", r.icacheMisses);
+    j.set("icacheEvictions", r.icacheEvictions);
+    j.set("btbAccesses", r.btbAccesses);
+    j.set("btbMisses", r.btbMisses);
+    j.set("btbEvictions", r.btbEvictions);
+    j.set("condBranches", r.condBranches);
+    j.set("condMispredicts", r.condMispredicts);
+    j.set("btbTargetMismatches", r.btbTargetMismatches);
+    j.set("deadHits", r.deadHits);
+    j.set("liveHits", r.liveHits);
+    j.set("deadEvictions", r.deadEvictions);
+    j.set("liveEvictions", r.liveEvictions);
+    j.set("psel", r.psel);
+    return j;
+}
+
+frontend::PhaseRecord
+phaseRecordFromJson(const Json &j)
+{
+    frontend::PhaseRecord r;
+    r.window = j.at("window").asUint();
+    r.instructions = j.at("instructions").asUint();
+    r.icacheAccesses = j.at("icacheAccesses").asUint();
+    r.icacheMisses = j.at("icacheMisses").asUint();
+    r.icacheEvictions = j.at("icacheEvictions").asUint();
+    r.btbAccesses = j.at("btbAccesses").asUint();
+    r.btbMisses = j.at("btbMisses").asUint();
+    r.btbEvictions = j.at("btbEvictions").asUint();
+    r.condBranches = j.at("condBranches").asUint();
+    r.condMispredicts = j.at("condMispredicts").asUint();
+    r.btbTargetMismatches = j.at("btbTargetMismatches").asUint();
+    r.deadHits = j.at("deadHits").asUint();
+    r.liveHits = j.at("liveHits").asUint();
+    r.deadEvictions = j.at("deadEvictions").asUint();
+    r.liveEvictions = j.at("liveEvictions").asUint();
+    r.psel = j.at("psel").asInt();
+    return r;
+}
+
+Json
+phaseStatsToJson(const PhaseStats &p)
+{
+    Json j = Json::object();
+    j.set("window", p.window);
+    j.set("stride", p.stride);
+    Json records = Json::array();
+    for (const frontend::PhaseRecord &r : p.records)
+        records.push(phaseRecordToJson(r));
+    j.set("records", std::move(records));
+    return j;
+}
+
+PhaseStats
+phaseStatsFromJson(const Json &j)
+{
+    PhaseStats p;
+    p.window = j.at("window").asUint();
+    p.stride = j.at("stride").asUint();
+    for (const Json &r : j.at("records").asArray())
+        p.records.push_back(phaseRecordFromJson(r));
+    return p;
+}
+
 } // anonymous namespace
+
+Json
+phaseRecordJson(const frontend::PhaseRecord &record)
+{
+    return phaseRecordToJson(record);
+}
 
 Json
 legToJson(const Leg &leg)
@@ -210,6 +286,10 @@ legToJson(const Leg &leg)
         duel.set("btb", duelStatsToJson(leg.duelBtb));
         j.set("duel", std::move(duel));
     }
+    // Schema minor 4: emitted only for phase-sampled legs so
+    // pre-flight-recorder documents serialize byte-identically.
+    if (leg.hasPhases)
+        j.set("phases", phaseStatsToJson(leg.phases));
     return j;
 }
 
@@ -241,6 +321,10 @@ legFromJson(const Json &j)
             leg.hasDuel = true;
             leg.duelIcache = duelStatsFromJson(duel->at("icache"));
             leg.duelBtb = duelStatsFromJson(duel->at("btb"));
+        }
+        if (const Json *phases = j.find("phases")) {
+            leg.hasPhases = true;
+            leg.phases = phaseStatsFromJson(*phases);
         }
         return leg;
     } catch (const JsonError &e) {
@@ -585,6 +669,13 @@ makeLeg(const std::string &trace, const std::string &label,
         leg.duelIcache = duel(result.icacheDuel);
         leg.duelBtb = duel(result.btbDuel);
     }
+
+    leg.hasPhases = result.hasPhases;
+    if (result.hasPhases) {
+        leg.phases.window = result.phases.window;
+        leg.phases.stride = result.phases.stride;
+        leg.phases.records = result.phases.records;
+    }
     return leg;
 }
 
@@ -635,6 +726,13 @@ toFrontendResult(const Leg &leg)
     if (leg.hasDuel) {
         result.icacheDuel = duel(leg.duelIcache);
         result.btbDuel = duel(leg.duelBtb);
+    }
+
+    result.hasPhases = leg.hasPhases;
+    if (leg.hasPhases) {
+        result.phases.window = leg.phases.window;
+        result.phases.stride = leg.phases.stride;
+        result.phases.records = leg.phases.records;
     }
     return result;
 }
@@ -717,6 +815,7 @@ suiteOptionsToJson(const core::SuiteOptions &options)
     j.set("recoverGhrpHistory", options.base.recoverGhrpHistory);
     j.set("wrongPathNoise", options.base.wrongPathNoise);
     j.set("instBytes", options.base.instBytes);
+    j.set("phaseWindow", options.base.phaseWindow);
     return j;
 }
 
@@ -758,6 +857,10 @@ suiteOptionsFromJson(const Json &json)
             json.at("wrongPathNoise").asUint());
         options.base.instBytes = static_cast<std::uint32_t>(
             json.at("instBytes").asUint());
+        // Optional: reports older than the phase flight recorder
+        // (schema minor < 4) lack it.
+        if (const Json *phase = json.find("phaseWindow"))
+            options.base.phaseWindow = phase->asUint();
         return options;
     } catch (const JsonError &e) {
         throw ReportError(std::string("malformed suite options: ") +
@@ -972,6 +1075,73 @@ buildSuiteReport(const std::string &experiment,
             dueling.set(frontend::policyName(policy), std::move(d));
         }
         report.extras.set("dueling", std::move(dueling));
+    }
+
+    // ---- phase flight-recorder extras (schema minor 4) -----------
+    // A compact per-policy digest of the per-leg trajectories: window
+    // geometry, record counts, decimation strides and the interval
+    // I-cache MPKI envelope. A pure function of the leg data, so
+    // resumed/merged reports carry it bit-identically; omitted
+    // entirely when no leg sampled, keeping minor-3 output unchanged.
+    {
+        bool any_phases = false;
+        std::uint64_t window = 0;
+        for (const auto &[policy, runs] : results.results)
+            for (const frontend::FrontendResult &run : runs)
+                if (run.hasPhases) {
+                    any_phases = true;
+                    window = run.phases.window;
+                }
+        if (any_phases) {
+            Json phases = Json::object();
+            phases.set("window", window);
+            Json per_policy = Json::object();
+            for (const frontend::PolicySpec &policy : options.policies) {
+                if (!results.results.count(policy))
+                    continue;
+                const std::vector<frontend::FrontendResult> &runs =
+                    results.results.at(policy);
+                std::uint64_t records = 0;
+                std::uint64_t max_stride = 0;
+                double mpki_min = 0.0, mpki_max = 0.0;
+                bool have_mpki = false;
+                for (const frontend::FrontendResult &run : runs) {
+                    if (!run.hasPhases)
+                        continue;
+                    records += run.phases.records.size();
+                    max_stride =
+                        std::max(max_stride, run.phases.stride);
+                    std::uint64_t prev = 0;
+                    for (const frontend::PhaseRecord &r :
+                         run.phases.records) {
+                        const std::uint64_t span =
+                            r.instructions - prev;
+                        prev = r.instructions;
+                        if (span == 0)
+                            continue;
+                        const double mpki =
+                            static_cast<double>(r.icacheMisses) *
+                            1000.0 / static_cast<double>(span);
+                        if (!have_mpki || mpki < mpki_min)
+                            mpki_min = mpki;
+                        if (!have_mpki || mpki > mpki_max)
+                            mpki_max = mpki;
+                        have_mpki = true;
+                    }
+                }
+                Json p = Json::object();
+                p.set("records", records);
+                p.set("maxStride", max_stride);
+                if (have_mpki) {
+                    p.set("icacheMpkiMin", mpki_min);
+                    p.set("icacheMpkiMax", mpki_max);
+                }
+                per_policy.set(frontend::policyName(policy),
+                               std::move(p));
+            }
+            phases.set("perPolicy", std::move(per_policy));
+            report.extras.set("phases", std::move(phases));
+        }
     }
 
     SweepStats &sweep = report.sweep;

@@ -47,10 +47,14 @@ struct ReportError : std::runtime_error
  *  Minor 3 added the optional per-leg "duel" subtree (set-dueling
  *  PSEL statistics) plus the "extras.oracle" per-trace best-static
  *  aggregate and "extras.dueling" summaries built by
- *  buildSuiteReport(). */
+ *  buildSuiteReport(). Minor 4 added the optional per-leg "phases"
+ *  subtree (windowed flight-recorder records), the "phaseWindow"
+ *  suite option, and the "extras.phases" summary built by
+ *  buildSuiteReport(); all omitted when phase sampling is off, so
+ *  minor-3 documents render byte-identically. */
 inline constexpr char kSchemaName[] = "ghrp-run-report";
 inline constexpr int kSchemaMajor = 1;
-inline constexpr int kSchemaMinor = 3;
+inline constexpr int kSchemaMinor = 4;
 
 /** Counters of one cache-like structure in one leg. */
 struct CounterSet
@@ -76,6 +80,16 @@ struct DuelStats
     std::uint64_t winnerFlips = 0;
     std::uint64_t sampleStride = 1;
     std::vector<std::int64_t> trajectory;
+};
+
+/** Phase flight-recorder trajectory of one leg (schema minor 4).
+ *  Mirrors frontend::PhaseTrajectory; a pure function of the access
+ *  stream, so legs carrying it merge/resume bit-identically. */
+struct PhaseStats
+{
+    std::uint64_t window = 0;  ///< raw window size, instructions
+    std::uint64_t stride = 1;  ///< raw windows per record after decimation
+    std::vector<frontend::PhaseRecord> records;
 };
 
 /** One simulated (trace, policy/variant) leg. */
@@ -105,6 +119,12 @@ struct Leg
     bool hasDuel = false;
     DuelStats duelIcache;
     DuelStats duelBtb;
+
+    /** Present (serialized) only for legs simulated with a non-zero
+     *  phase window, so documents without phase sampling render
+     *  byte-identically to schema minor 3. */
+    bool hasPhases = false;
+    PhaseStats phases;
 };
 
 /** Relative-to-LRU statistics of one structure, in percent. */
@@ -234,6 +254,11 @@ Leg makeLeg(const std::string &trace, const std::string &label,
 
 /** Serialize one leg as its report-schema JSON object. */
 Json legToJson(const Leg &leg);
+
+/** Serialize one flight-recorder record as its report-schema JSON
+ *  object (the shape used inside leg "phases" subtrees and, with
+ *  trace/policy members added, inside service progress frames). */
+Json phaseRecordJson(const frontend::PhaseRecord &record);
 
 /** Parse one leg object; throws ReportError on missing members. */
 Leg legFromJson(const Json &json);

@@ -35,7 +35,11 @@
  * progress events; both are invisible to minor-0 peers. Minor 2 added
  * the leasedThreads member of jobStatus (the running job's share of
  * the daemon's --total-threads budget), equally invisible to older
- * peers.
+ * peers. Minor 3 added the optional phase member of progress events —
+ * the latest finished leg's newest flight-recorder record (serialized
+ * like a report phase record, plus trace/policy/window) when the job
+ * runs with a non-zero phase window — which `ghrp-client watch
+ * --phases` renders as a rolling readout; older peers ignore it.
  */
 
 #ifndef GHRP_SERVICE_PROTOCOL_HH
@@ -62,7 +66,7 @@ struct ProtocolError : std::runtime_error
 /** Protocol identity; bump major only on incompatible changes. */
 inline constexpr char kProtocolName[] = "ghrp-service";
 inline constexpr int kProtocolMajor = 1;
-inline constexpr int kProtocolMinor = 2;
+inline constexpr int kProtocolMinor = 3;
 
 /** Upper bound on one frame's payload (a full run report fits with
  *  room to spare; anything larger is a corrupt or hostile peer). */

@@ -41,6 +41,7 @@ struct ServiceMetrics
     telemetry::Gauge &activeJobs;
     telemetry::Gauge &leasedThreads;
     telemetry::Gauge &totalThreads;
+    telemetry::Gauge &uptimeSeconds;
     telemetry::Histogram &jobWaitSeconds;
     telemetry::Histogram &jobSeconds;
 };
@@ -58,6 +59,7 @@ serviceMetrics()
         telemetry::metrics().gauge("service.active_jobs"),
         telemetry::metrics().gauge("service.leased_threads"),
         telemetry::metrics().gauge("service.total_threads"),
+        telemetry::metrics().gauge("service.uptime_seconds"),
         telemetry::metrics().histogram("service.job_wait_seconds"),
         telemetry::metrics().histogram("service.job_seconds"),
     };
@@ -175,6 +177,8 @@ ServiceServer::start()
         cfg.maxActiveJobs != 0 ? cfg.maxActiveJobs : totalThreads;
     simPool = std::make_unique<util::ThreadPool>(totalThreads);
     serviceMetrics().totalThreads.set(static_cast<double>(totalThreads));
+    startedAt = std::chrono::steady_clock::now();
+    serviceMetrics().uptimeSeconds.set(0.0);
 
     workerPaused = cfg.startPaused;
     workers.reserve(maxActiveJobs);
@@ -388,6 +392,10 @@ ServiceServer::dispatch(Connection &conn, const report::Json &message)
         } else if (type == "cancel") {
             cmdCancel(conn, message);
         } else if (type == "metrics") {
+            serviceMetrics().uptimeSeconds.set(
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - startedAt)
+                    .count());
             report::Json reply = makeMessage("metrics");
             reply.set("metrics",
                       report::telemetryToJson(
@@ -652,6 +660,14 @@ ServiceServer::drainEvents()
                 msg.set("total", event.total);
                 msg.set("leg", event.leg);
                 msg.set("elapsedSeconds", event.elapsedSeconds);
+                {
+                    // Latest flight-recorder record, when the job runs
+                    // with phase sampling (protocol minor 3).
+                    std::lock_guard<std::mutex> lock(jobsMutex);
+                    const auto it = jobs.find(event.job);
+                    if (it != jobs.end() && it->second.hasLatestPhase)
+                        msg.set("phase", it->second.latestPhase);
+                }
                 sendMessage(conn, msg);
             } else {
                 std::lock_guard<std::mutex> lock(jobsMutex);
@@ -839,6 +855,22 @@ ServiceServer::executeJob(const std::string &job_id, unsigned lease)
                     result.traceName, frontend::policyName(policy),
                     result, seconds)));
             journal.append(record);
+
+            // Stash the leg's newest flight-recorder record for the
+            // watchers' progress frames (protocol minor 3).
+            if (result.hasPhases && !result.phases.records.empty()) {
+                report::Json phase = report::phaseRecordJson(
+                    result.phases.records.back());
+                phase.set("trace", result.traceName);
+                phase.set("policy", frontend::policyName(policy));
+                phase.set("phaseWindow", result.phases.window);
+                phase.set("stride", result.phases.stride);
+                phase.set("records", result.phases.records.size());
+                std::lock_guard<std::mutex> lock(jobsMutex);
+                Job &job = jobs.at(job_id);
+                job.hasLatestPhase = true;
+                job.latestPhase = std::move(phase);
+            }
         };
         hooks.acquireDecoded =
             [this](const workload::TraceSpec &spec,

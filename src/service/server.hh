@@ -187,6 +187,13 @@ class ServiceServer
         /** Threads leased from the global budget while running. */
         unsigned leasedThreads = 0;
 
+        /** Newest flight-recorder record of the latest finished leg
+         *  (protocol minor 3), attached to progress frames so `watch
+         *  --phases` can render a live readout. Only set when the job
+         *  runs with a non-zero phase window. */
+        bool hasLatestPhase = false;
+        report::Json latestPhase = report::Json::object();
+
         bool cancelRequested = false;
     };
 
@@ -265,6 +272,9 @@ class ServiceServer
     std::uint64_t nextJobNumber = 1;
     bool workerPaused = false;
     bool workerExit = false;
+
+    /** When start() ran; drives the service.uptime_seconds gauge. */
+    std::chrono::steady_clock::time_point startedAt{};
 
     /** Resolved budget/concurrency (start()); immutable afterwards. */
     unsigned totalThreads = 0;

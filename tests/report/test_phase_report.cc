@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Schema-minor-4 tests: the per-leg "phases" subtree must round-trip
+ * bit-identically (legs are the crash-resume/shard-merge currency),
+ * buildSuiteReport must synthesize the extras.phases digest from the
+ * suite results alone, merged shard reports must carry identical
+ * phase data, and the phase render/check/diff surfaces must behave on
+ * real and degenerate reports.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/runner.hh"
+#include "report/render.hh"
+#include "report/report.hh"
+
+namespace
+{
+
+using namespace ghrp;
+using report::Json;
+using report::RunReport;
+
+frontend::PhaseRecord
+phaseRecord(std::uint64_t window, std::uint64_t instructions)
+{
+    frontend::PhaseRecord r;
+    r.window = window;
+    r.instructions = instructions;
+    r.icacheAccesses = 4'000 + window;
+    r.icacheMisses = 90 + window;
+    r.icacheEvictions = 70 + window;
+    r.btbAccesses = 1'200 + window;
+    r.btbMisses = 30 + window;
+    r.btbEvictions = 25 + window;
+    r.condBranches = 900 + window;
+    r.condMispredicts = 40 + window;
+    r.btbTargetMismatches = 3 + window;
+    r.deadHits = 11 + window;
+    r.liveHits = 300 + window;
+    r.deadEvictions = 9 + window;
+    r.liveEvictions = 50 + window;
+    r.psel = static_cast<std::int64_t>(window) * 7 - 10;
+    return r;
+}
+
+frontend::FrontendResult
+phaseResult()
+{
+    frontend::FrontendResult r;
+    r.traceName = "trace-0";
+    r.policy = "GHRP";
+    r.totalInstructions = 60'000;
+    r.measuredInstructions = 30'000;
+    r.icache.accesses = 12'000;
+    r.icache.misses = 300;
+    r.icache.hits = 11'700;
+    r.icacheMpki = 10.0;
+    r.btb.accesses = 4'000;
+    r.btb.misses = 90;
+    r.btb.hits = 3'910;
+    r.btbMpki = 3.0;
+    r.hasPhases = true;
+    r.phases.window = 10'000;
+    r.phases.stride = 2;
+    r.phases.records = {phaseRecord(1, 20'000), phaseRecord(3, 40'000),
+                        phaseRecord(5, 60'000)};
+    return r;
+}
+
+TEST(PhaseLeg, RoundTripsThroughJsonBitIdentically)
+{
+    const report::Leg leg =
+        report::makeLeg("trace-0", "GHRP", phaseResult(), 0.5);
+    ASSERT_TRUE(leg.hasPhases);
+    EXPECT_EQ(leg.phases.window, 10'000u);
+    EXPECT_EQ(leg.phases.stride, 2u);
+    ASSERT_EQ(leg.phases.records.size(), 3u);
+
+    const std::string once = report::legToJson(leg).dump(2);
+    const report::Leg reparsed =
+        report::legFromJson(Json::parse(once));
+    EXPECT_EQ(report::legToJson(reparsed).dump(2), once);
+    ASSERT_TRUE(reparsed.hasPhases);
+    EXPECT_EQ(reparsed.phases.stride, 2u);
+
+    // toFrontendResult is the exact inverse of makeLeg — the resume
+    // path must restore the flight-recorder trajectory too.
+    const frontend::FrontendResult restored =
+        report::toFrontendResult(reparsed);
+    ASSERT_TRUE(restored.hasPhases);
+    EXPECT_EQ(restored.phases.window, 10'000u);
+    ASSERT_EQ(restored.phases.records.size(), 3u);
+    for (std::size_t i = 0; i < restored.phases.records.size(); ++i)
+        EXPECT_EQ(
+            report::phaseRecordJson(restored.phases.records[i]).dump(2),
+            report::phaseRecordJson(phaseResult().phases.records[i])
+                .dump(2))
+            << "record " << i;
+}
+
+TEST(PhaseLeg, NonPhaseLegsSerializeWithoutPhasesSubtree)
+{
+    frontend::FrontendResult r = phaseResult();
+    r.hasPhases = false;
+    const report::Leg leg = report::makeLeg("trace-0", "GHRP", r, 0.0);
+    EXPECT_FALSE(leg.hasPhases);
+    const Json j = report::legToJson(leg);
+    EXPECT_EQ(j.find("phases"), nullptr);
+    EXPECT_FALSE(report::legFromJson(j).hasPhases);
+}
+
+core::SuiteOptions
+phaseSuiteOptions(std::uint64_t window = 20'000)
+{
+    core::SuiteOptions options;
+    options.numTraces = 2;
+    options.instructionOverride = 150'000;
+    options.jobs = 1;
+    options.policies = {frontend::PolicyKind::Lru,
+                        frontend::PolicyKind::Ghrp};
+    options.base.phaseWindow = window;
+    return options;
+}
+
+TEST(PhaseReport, BuildSuiteReportSynthesizesPhasesExtras)
+{
+    const core::SuiteOptions options = phaseSuiteOptions();
+    const core::SuiteResults results = core::runSuite(options);
+    const RunReport report =
+        report::buildSuiteReport("phase_suite", options, results);
+
+    EXPECT_EQ(report.options.at("phaseWindow").asUint(), 20'000u);
+    for (const report::Leg &leg : report.legs) {
+        ASSERT_TRUE(leg.hasPhases) << leg.trace << "/" << leg.policy;
+        EXPECT_EQ(leg.phases.window, 20'000u);
+        EXPECT_FALSE(leg.phases.records.empty());
+    }
+
+    const Json *phases = report.extras.find("phases");
+    ASSERT_NE(phases, nullptr);
+    EXPECT_EQ(phases->at("window").asUint(), 20'000u);
+    const Json &per_policy = phases->at("perPolicy");
+    for (const char *name : {"LRU", "GHRP"}) {
+        const Json *entry = per_policy.find(name);
+        ASSERT_NE(entry, nullptr) << name;
+        EXPECT_GT(entry->at("records").asUint(), 0u);
+        EXPECT_GE(entry->at("maxStride").asUint(), 1u);
+        EXPECT_GE(entry->at("icacheMpkiMax").asDouble(),
+                  entry->at("icacheMpkiMin").asDouble());
+    }
+
+    // The whole document still round-trips bit-identically.
+    const std::string once = report.toJson().dump(2);
+    EXPECT_EQ(RunReport::fromJson(Json::parse(once)).toJson().dump(2),
+              once);
+}
+
+TEST(PhaseReport, WindowZeroProducesZeroReportDelta)
+{
+    const core::SuiteOptions options = phaseSuiteOptions(0);
+    const RunReport report = report::buildSuiteReport(
+        "phase_suite", options, core::runSuite(options));
+
+    EXPECT_EQ(report.extras.find("phases"), nullptr);
+    for (const report::Leg &leg : report.legs) {
+        EXPECT_FALSE(leg.hasPhases);
+        EXPECT_EQ(report::legToJson(leg).find("phases"), nullptr);
+    }
+    EXPECT_EQ(report.options.at("phaseWindow").asUint(), 0u);
+}
+
+/** Keep the simulation payload plus the phases extras; strip identity,
+ *  timing, capture and the process-global telemetry. */
+std::string
+phaseNormalizedDump(RunReport r)
+{
+    r.runId.clear();
+    r.createdUnix = 0;
+    r.build.clear();
+    r.environment.clear();
+    r.options = Json::object();
+    r.sweep = report::SweepStats{};
+    Json extras = Json::object();
+    if (const Json *phases = r.extras.find("phases"))
+        extras.set("phases", *phases);
+    r.extras = std::move(extras);
+    for (report::Leg &leg : r.legs)
+        leg.seconds = 0.0;
+    return r.toJson().dump(2);
+}
+
+TEST(PhaseReport, ShardMergeReproducesPhasesBitIdentically)
+{
+    const core::SuiteOptions cell = phaseSuiteOptions();
+    const RunReport reference = report::buildSuiteReport(
+        "phase-merge", cell, core::runSuite(cell));
+
+    std::vector<RunReport> shards;
+    for (const frontend::PolicySpec &policy : cell.policies) {
+        core::SuiteOptions shard = cell;
+        shard.policies = {policy};
+        shards.push_back(report::buildSuiteReport(
+            "phase-merge", shard, core::runSuite(shard)));
+    }
+    const RunReport merged =
+        report::mergeShardReports("phase-merge", cell, shards);
+    EXPECT_EQ(phaseNormalizedDump(merged),
+              phaseNormalizedDump(reference));
+    ASSERT_NE(merged.extras.find("phases"), nullptr);
+    for (const report::Leg &leg : merged.legs)
+        EXPECT_TRUE(leg.hasPhases);
+}
+
+TEST(PhaseRender, RenderCheckAndDiffSurfaces)
+{
+    const core::SuiteOptions options = phaseSuiteOptions();
+    const RunReport report = report::buildSuiteReport(
+        "phase_suite", options, core::runSuite(options));
+
+    const std::string text = report::renderPhases(report);
+    EXPECT_NE(text.find("GHRP"), std::string::npos);
+    EXPECT_NE(text.find("records"), std::string::npos);
+    EXPECT_NE(text.find("I$ MPKI"), std::string::npos);
+
+    const report::PhaseCheckResult ok = report::checkPhases(report);
+    EXPECT_TRUE(ok.ok) << ok.text;
+    EXPECT_NE(ok.text.find("OK"), std::string::npos);
+
+    // One .dat per phase leg plus one overlay .gp.
+    const auto files = report::phaseFiles(report);
+    ASSERT_EQ(files.size(), report.legs.size() + 1);
+    EXPECT_NE(files.front().first.find("phase_"), std::string::npos);
+    EXPECT_NE(files.front().second.find("# window"),
+              std::string::npos);
+    EXPECT_NE(files.back().first.find(".gp"), std::string::npos);
+
+    // A report against itself diffs with zero winner flips.
+    const std::string diff = report::diffPhases(report, report);
+    EXPECT_NE(diff.find("0 winner flips total"), std::string::npos);
+
+    // A report with no phase legs fails the check instead of lying.
+    const core::SuiteOptions off = phaseSuiteOptions(0);
+    const RunReport plain = report::buildSuiteReport(
+        "phase_suite", off, core::runSuite(off));
+    const report::PhaseCheckResult bad = report::checkPhases(plain);
+    EXPECT_FALSE(bad.ok);
+    EXPECT_TRUE(report::renderPhases(plain).empty());
+}
+
+} // anonymous namespace

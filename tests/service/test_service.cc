@@ -544,7 +544,8 @@ TEST(Service, WatchStreamsProgressToTerminalStatus)
  * only the lanes the journal is missing.
  */
 void
-sigkillResumeCase(const std::string &scratch, bool fused)
+sigkillResumeCase(const std::string &scratch, bool fused,
+                  std::uint64_t phase_window = 0)
 {
     const std::string dir = scratchDir(scratch);
     const ServerConfig cfg = testConfig(dir);
@@ -552,6 +553,7 @@ sigkillResumeCase(const std::string &scratch, bool fused)
     // legs at several milliseconds each.
     core::SuiteOptions options = smallSuite(6, 8'000'000);
     options.fused = fused;
+    options.base.phaseWindow = phase_window;
 
     const auto spawn_daemon = [&cfg]() -> pid_t {
         const pid_t pid = ::fork();
@@ -628,6 +630,14 @@ sigkillResumeCase(const std::string &scratch, bool fused)
     const report::RunReport reference =
         report::buildSuiteReport("fig03_icache_scurve", options, local);
     EXPECT_EQ(normalizedDump(served), normalizedDump(reference));
+
+    // A windowed job's flight-recorder trajectories ride along in the
+    // comparison above; make the coverage explicit.
+    if (phase_window > 0)
+        for (const report::Leg &leg : served.legs) {
+            EXPECT_TRUE(leg.hasPhases) << leg.trace << "/" << leg.policy;
+            EXPECT_FALSE(leg.phases.records.empty());
+        }
 }
 
 TEST(Service, SigkillMidJobResumesFromJournal)
@@ -638,6 +648,13 @@ TEST(Service, SigkillMidJobResumesFromJournal)
 TEST(Service, SigkillMidFusedJobResumesFromJournal)
 {
     sigkillResumeCase("crash-fused", true);
+}
+
+TEST(Service, SigkillMidPhaseJobResumesBitIdenticalTrajectories)
+{
+    // Journaled legs carry their phase records; the resumed report's
+    // trajectories must be bit-identical to an uninterrupted run.
+    sigkillResumeCase("crash-phases", false, 100'000);
 }
 
 } // anonymous namespace

@@ -4,14 +4,21 @@
  *
  *   ghrp-client submit --socket PATH [--experiment NAME] [--traces N]
  *       [--seed S] [--instructions M] [--jobs N] [--fused]
- *       [--priority P] [--timeout SEC] [--wait] [--out FILE]
+ *       [--phase-window N] [--priority P] [--timeout SEC] [--wait]
+ *       [--out FILE]
  *       Submit a suite sweep (fig03-style defaults). With --wait,
  *       stream progress until the job finishes, then fetch the run
  *       report (to --out FILE, else stdout). The wait loop reconnects
  *       with exponential backoff, so it survives a daemon restart.
+ *       --phase-window enables the flight recorder on the daemon side;
+ *       the records land in the report and stream to watchers.
  *
  *   ghrp-client status --socket PATH --job ID
- *   ghrp-client watch  --socket PATH --job ID
+ *   ghrp-client watch  --socket PATH --job ID [--phases]
+ *       Stream progress until the job finishes. With --phases, each
+ *       progress frame's flight-recorder record (protocol minor 3) is
+ *       rendered as a rolling interval I-cache MPKI / direction
+ *       accuracy readout of the latest finished leg.
  *   ghrp-client result --socket PATH --job ID [--out FILE]
  *   ghrp-client cancel --socket PATH --job ID
  *   ghrp-client ping   --socket PATH
@@ -19,10 +26,12 @@
  *       [--watch SECS]
  *       Fetch the daemon's live telemetry snapshot: queue depth, job
  *       wait/run histograms, trace-store hit counters, journal fsync
- *       latency. Default output is the snapshot JSON; --prometheus
- *       renders Prometheus text exposition instead. --watch refreshes
- *       every SECS seconds (reconnecting across daemon restarts)
- *       until interrupted, so scheduler behaviour is observable live.
+ *       latency, service.jobs_failed, service.uptime_seconds. Default
+ *       output is the snapshot JSON; --prometheus renders Prometheus
+ *       text exposition instead. --watch refreshes every SECS seconds
+ *       (reconnecting across daemon restarts) until interrupted and
+ *       prints a one-line uptime/failure health summary per refresh,
+ *       so scheduler behaviour is observable live.
  *   ghrp-client shutdown --socket PATH
  *
  *   ghrp-client sweep (--daemons S1,S2,... | --daemons-file FILE)
@@ -68,10 +77,10 @@ usage()
         stderr,
         "usage: ghrp-client submit --socket PATH [--experiment NAME]\n"
         "           [--traces N] [--seed S] [--instructions M] [--jobs N]\n"
-        "           [--fused] [--priority P] [--timeout SEC] [--wait]\n"
-        "           [--out FILE]\n"
+        "           [--fused] [--phase-window N] [--priority P]\n"
+        "           [--timeout SEC] [--wait] [--out FILE]\n"
         "       ghrp-client status|watch|result|cancel --socket PATH"
-        " --job ID [--out FILE]\n"
+        " --job ID [--out FILE] [--phases]\n"
         "       ghrp-client metrics --socket PATH [--prometheus]"
         " [--out FILE] [--watch SECS]\n"
         "       ghrp-client ping|shutdown --socket PATH\n"
@@ -164,12 +173,52 @@ followJob(service::ServiceClient &client, const std::string &job,
                     elapsed > 0.0
                         ? static_cast<double>(completed) / elapsed
                         : 0.0;
+                // Rolling flight-recorder readout (--phases): the
+                // newest phase record of the latest finished leg,
+                // attached by protocol-minor-3 daemons.
+                std::string phase_text;
+                const report::Json *phase = message->find("phase");
+                if (cli.has("phases") && phase) {
+                    const double span =
+                        static_cast<double>(
+                            phase->at("phaseWindow").asUint()) *
+                        static_cast<double>(
+                            phase->at("stride").asUint());
+                    const double mpki =
+                        span > 0.0
+                            ? static_cast<double>(
+                                  phase->at("icacheMisses").asUint()) *
+                                  1000.0 / span
+                            : 0.0;
+                    const std::uint64_t branches =
+                        phase->at("condBranches").asUint();
+                    const double accuracy =
+                        branches
+                            ? 100.0 *
+                                  (1.0 -
+                                   static_cast<double>(
+                                       phase->at("condMispredicts")
+                                           .asUint()) /
+                                       static_cast<double>(branches))
+                            : 0.0;
+                    char buf[160];
+                    std::snprintf(
+                        buf, sizeof(buf),
+                        " | %s/%s w%llu I$ %.2f MPKI dir %.1f%%",
+                        phase->at("trace").asString().c_str(),
+                        phase->at("policy").asString().c_str(),
+                        static_cast<unsigned long long>(
+                            phase->at("window").asUint()),
+                        mpki, accuracy);
+                    phase_text = buf;
+                }
                 std::fprintf(
-                    stderr, "\r[%llu/%llu] %6.1fs %6.1f legs/s %-40s",
+                    stderr, "\r[%llu/%llu] %6.1fs %6.1f legs/s %-40s%s",
                     static_cast<unsigned long long>(completed),
                     static_cast<unsigned long long>(total),
                     elapsed, rate,
-                    message->at("leg").asString().c_str());
+                    message->at("leg").asString().c_str(),
+                    phase_text.c_str());
                 continue;
             }
             if (type == "error")
@@ -211,6 +260,7 @@ cmdSubmit(service::ServiceClient &client, const core::CliOptions &cli)
     options.instructionOverride = cli.getUint("instructions", 0);
     options.jobs = static_cast<unsigned>(cli.getUint("jobs", 0));
     options.fused = cli.has("fused");
+    options.base.phaseWindow = cli.getUint("phase-window", 0);
 
     report::Json request = service::makeMessage("submit");
     request.set("experiment",
@@ -266,6 +316,27 @@ cmdMetrics(service::ServiceClient &client, const core::CliOptions &cli)
         }
         if (watch <= 0.0)
             return 0;
+        {
+            // One-line daemon health summary per refresh, so a
+            // dashboard tailing stderr sees uptime and failures
+            // without parsing the snapshot.
+            const telemetry::Snapshot snapshot =
+                report::telemetryFromJson(snapshot_json);
+            double uptime = 0.0;
+            std::uint64_t failed = 0;
+            if (const auto it =
+                    snapshot.gauges.find("service.uptime_seconds");
+                it != snapshot.gauges.end())
+                uptime = it->second;
+            if (const auto it =
+                    snapshot.counters.find("service.jobs_failed");
+                it != snapshot.counters.end())
+                failed = it->second;
+            std::fprintf(stderr,
+                         "[health] uptime %.0fs, %llu job(s) failed\n",
+                         uptime,
+                         static_cast<unsigned long long>(failed));
+        }
         // Each refresh must reach a redirected stdout immediately —
         // a dashboard pipe should not lag a block-buffer behind.
         std::fflush(stdout);

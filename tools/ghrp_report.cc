@@ -15,15 +15,34 @@
  *       deterministic — a delta is a code change) or when legs/s
  *       regressed by more than PCT (default 5).
  *
- *   ghrp-report trajectory FILE [--out-dir DIR]
- *       Write BENCH_<name>.json trajectory points (throughput and
- *       per-policy MPKI) for benchmark tracking.
+ *   ghrp-report trajectory FILE... [--out-dir DIR]
+ *       Write BENCH_<name>.json trajectory points (throughput,
+ *       per-policy MPKI, set-dueling winner flips) for benchmark
+ *       tracking. Reports that fail to load or parse are skipped with
+ *       a warning instead of aborting the whole emission; exit 1 only
+ *       when every input was skipped.
  *
  *   ghrp-report plot FILE... [--out-dir DIR]
  *       Regenerate gnuplot S-curve sources from each report's legs:
  *       an <experiment>_<structure>.dat rank table plus a .gp script
- *       per structure (icache, btb) that saw accesses. Run
- *       `gnuplot <experiment>_icache.gp` to render the PNG.
+ *       per structure (icache, btb) that saw accesses, and a
+ *       psel_<trace>.dat/.gp PSEL trajectory per trace with
+ *       set-dueling legs. Run `gnuplot <experiment>_icache.gp` to
+ *       render the PNG.
+ *
+ *   ghrp-report phases FILE... [--out-dir DIR] [--check]
+ *   ghrp-report phases --diff A B
+ *       Render each report's flight-recorder phase trajectories as
+ *       ASCII sparklines, one block per leg (interval I-cache/BTB
+ *       MPKI, direction mispredict rate, dead-eviction share, duel
+ *       PSEL). With --out-dir, also write phase_<trace>_<policy>.dat
+ *       gnuplot tables plus a phase_<experiment>.gp overlay script.
+ *       With --check, validate the records instead (some leg carries
+ *       them; window ids and instruction commits strictly monotone;
+ *       the 128-record decimation bound holds) — the CI gate on the
+ *       perf-smoke fig03 report. With --diff, align two reports'
+ *       trajectories and print one line per per-window I-cache MPKI
+ *       winner flip.
  *
  *   ghrp-report check-telemetry FILE...
  *       Verify each report carries a parseable extras.telemetry
@@ -66,8 +85,10 @@ usage()
         "[--check-docs DOC]\n"
         "       ghrp-report diff BASELINE CANDIDATE [--check] "
         "[--max-regress PCT]\n"
-        "       ghrp-report trajectory FILE [--out-dir DIR]\n"
+        "       ghrp-report trajectory FILE... [--out-dir DIR]\n"
         "       ghrp-report plot FILE... [--out-dir DIR]\n"
+        "       ghrp-report phases FILE... [--out-dir DIR] [--check]\n"
+        "       ghrp-report phases --diff A B\n"
         "       ghrp-report check-telemetry FILE...\n"
         "       ghrp-report check-docs DOC\n");
     return 2;
@@ -226,8 +247,21 @@ cmdTrajectory(const std::vector<std::string> &args)
         return usage();
     std::filesystem::create_directories(out_dir);
 
+    std::size_t emitted = 0;
     for (const std::string &file : files) {
-        const report::RunReport run = report::RunReport::load(file);
+        // A stale or future-schema report must not abort the whole
+        // emission: warn, skip, and keep writing the others' points.
+        report::RunReport run;
+        try {
+            run = report::RunReport::load(file);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr,
+                         "ghrp-report: skipping %s (no trajectory "
+                         "points: %s)\n",
+                         file.c_str(), e.what());
+            continue;
+        }
+        ++emitted;
         for (const auto &[name, point] : report::trajectoryPoints(run)) {
             const std::string path =
                 out_dir + "/BENCH_" + name + ".json";
@@ -235,7 +269,7 @@ cmdTrajectory(const std::vector<std::string> &args)
             std::printf("wrote %s\n", path.c_str());
         }
     }
-    return 0;
+    return emitted == 0 ? 1 : 0;
 }
 
 int
@@ -271,6 +305,70 @@ cmdPlot(const std::vector<std::string> &args)
         }
     }
     return 0;
+}
+
+int
+cmdPhases(const std::vector<std::string> &args)
+{
+    std::vector<std::string> files;
+    std::string out_dir;
+    bool check = false, diff = false;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--out-dir" && i + 1 < args.size())
+            out_dir = args[++i];
+        else if (args[i] == "--check")
+            check = true;
+        else if (args[i] == "--diff")
+            diff = true;
+        else if (args[i].rfind("--", 0) == 0)
+            return usage();
+        else
+            files.push_back(args[i]);
+    }
+
+    if (diff) {
+        if (files.size() != 2 || check)
+            return usage();
+        const report::RunReport a = report::RunReport::load(files[0]);
+        const report::RunReport b = report::RunReport::load(files[1]);
+        std::printf("%s", report::diffPhases(a, b).c_str());
+        return 0;
+    }
+    if (files.empty())
+        return usage();
+
+    bool failed = false;
+    for (const std::string &file : files) {
+        const report::RunReport run = report::RunReport::load(file);
+        if (check) {
+            const report::PhaseCheckResult result =
+                report::checkPhases(run);
+            std::printf("%s:\n%s", file.c_str(), result.text.c_str());
+            if (!result.ok)
+                failed = true;
+            continue;
+        }
+        const std::string text = report::renderPhases(run);
+        if (text.empty()) {
+            std::fprintf(stderr,
+                         "ghrp-report: %s has no flight-recorder "
+                         "records (rerun with --phase-window N)\n",
+                         file.c_str());
+            failed = true;
+            continue;
+        }
+        std::printf("%s", text.c_str());
+        if (!out_dir.empty()) {
+            std::filesystem::create_directories(out_dir);
+            for (const auto &[name, content] :
+                 report::phaseFiles(run)) {
+                const std::string path = out_dir + "/" + name;
+                writeFile(path, content);
+                std::printf("wrote %s\n", path.c_str());
+            }
+        }
+    }
+    return failed ? 1 : 0;
 }
 
 int
@@ -357,6 +455,8 @@ main(int argc, char **argv)
             return cmdTrajectory(args);
         if (command == "plot")
             return cmdPlot(args);
+        if (command == "phases")
+            return cmdPhases(args);
         if (command == "check-telemetry")
             return cmdCheckTelemetry(args);
         if (command == "check-docs")
